@@ -1,0 +1,120 @@
+//===- bench/Common.cpp - Shared benchmark harness helpers ---------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "native/Native.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace perceus;
+using namespace perceus::bench;
+
+std::vector<BenchProgram> perceus::bench::figure9Programs(double Scale) {
+  auto scaled = [&](int64_t Base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(Base * Scale));
+  };
+  // nqueens and cfold scale with problem size, not iteration count;
+  // bump them by steps instead of multiplying.
+  int64_t NQ = 8, CF = 14, DV = 12;
+  if (Scale >= 4) {
+    NQ = 10;
+    CF = 17;
+    DV = 18;
+  } else if (Scale >= 2) {
+    NQ = 9;
+    CF = 16;
+    DV = 15;
+  } else if (Scale < 1) {
+    NQ = 6;
+    CF = 10;
+    DV = 8;
+  }
+  return {
+      {"rbtree", rbtreeSource(), "bench_rbtree", scaled(100000),
+       native::rbtree},
+      {"rbtree-ck", rbtreeCkSource(), "bench_rbtree_ck", scaled(20000),
+       nullptr /* no C++ version, as in the paper */},
+      {"deriv", derivSource(), "bench_deriv", DV, native::deriv},
+      {"nqueens", nqueensSource(), "bench_nqueens", NQ, native::nqueens},
+      {"cfold", cfoldSource(), "bench_cfold", CF, native::cfold},
+  };
+}
+
+Measurement perceus::bench::measure(const BenchProgram &Prog,
+                                    const PassConfig &Config) {
+  Measurement M;
+  Runner R(Prog.Source, Config);
+  if (!R.ok())
+    return M;
+  auto T0 = std::chrono::steady_clock::now();
+  RunResult Res = R.callInt(Prog.Entry, {Prog.BaseScale});
+  auto T1 = std::chrono::steady_clock::now();
+  if (!Res.Ok)
+    return M;
+  M.Ran = true;
+  M.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  M.PeakBytes = R.heap().stats().PeakBytes;
+  M.Checksum = Res.Result.Int;
+  M.Heap = R.heap().stats();
+  M.Run = Res;
+  return M;
+}
+
+Measurement perceus::bench::measureNative(const BenchProgram &Prog) {
+  Measurement M;
+  if (!Prog.Native)
+    return M;
+  auto T0 = std::chrono::steady_clock::now();
+  int64_t Result = Prog.Native(Prog.BaseScale);
+  auto T1 = std::chrono::steady_clock::now();
+  M.Ran = true;
+  M.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  M.Checksum = Result;
+  return M;
+}
+
+void perceus::bench::printRelativeTable(
+    const char *Title, const char *Unit,
+    const std::vector<std::string> &RowNames,
+    const std::vector<std::string> &ColNames,
+    const std::vector<std::vector<double>> &Values) {
+  std::printf("\n%s (relative to %s = 1.00; lower is better; x = not "
+              "available; absolute %s in brackets)\n",
+              Title, RowNames.empty() ? "?" : RowNames[0].c_str(), Unit);
+  std::printf("%-14s", "");
+  for (const std::string &C : ColNames)
+    std::printf(" %20s", C.c_str());
+  std::printf("\n");
+  for (size_t R = 0; R != RowNames.size(); ++R) {
+    std::printf("%-14s", RowNames[R].c_str());
+    for (size_t C = 0; C != ColNames.size(); ++C) {
+      double Base = Values[0][C];
+      double V = Values[R][C];
+      if (V < 0 || Base <= 0) {
+        std::printf(" %20s", "x");
+        continue;
+      }
+      char Buf[64];
+      if (Unit[0] == 's') // seconds
+        std::snprintf(Buf, sizeof(Buf), "%.2f [%.3fs]", V / Base, V);
+      else // bytes
+        std::snprintf(Buf, sizeof(Buf), "%.2f [%.1fMB]", V / Base,
+                      V / 1048576.0);
+      std::printf(" %20s", Buf);
+    }
+    std::printf("\n");
+  }
+}
+
+double perceus::bench::parseScale(int Argc, char **Argv, double Default) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--scale=", 8) == 0)
+      return std::atof(Argv[I] + 8);
+  }
+  return Default;
+}

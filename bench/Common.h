@@ -1,0 +1,73 @@
+//===- bench/Common.h - Shared benchmark harness helpers --------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table-producing benchmark binaries: the
+/// benchmark/configuration matrix, timing, scaling, and aligned table
+/// printing in the style of the paper's Figure 9 (values relative to the
+/// `perceus` configuration; lower is better).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_BENCH_COMMON_H
+#define PERCEUS_BENCH_COMMON_H
+
+#include "eval/Runner.h"
+#include "programs/Programs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace perceus {
+namespace bench {
+
+/// One benchmark program of the paper's Section 4.
+struct BenchProgram {
+  const char *Name;
+  const char *Source;
+  const char *Entry;
+  int64_t BaseScale; ///< workload size at --scale=1
+  std::function<int64_t(int64_t)> Native; ///< nullptr: no C++ version (×)
+};
+
+/// The five programs of Figure 9.
+std::vector<BenchProgram> figure9Programs(double Scale);
+
+/// One measured cell of the table.
+struct Measurement {
+  bool Ran = false;
+  double Seconds = 0;
+  size_t PeakBytes = 0;
+  int64_t Checksum = 0;
+  HeapStats Heap;
+  RunResult Run;
+};
+
+/// Runs \p Prog under \p Config once and measures it.
+Measurement measure(const BenchProgram &Prog, const PassConfig &Config);
+
+/// Runs the native C++ version (time only).
+Measurement measureNative(const BenchProgram &Prog);
+
+/// Prints one relative-value table (the Figure 9 format): rows =
+/// configurations, columns = benchmarks, normalized to the first
+/// configuration row.
+void printRelativeTable(const char *Title, const char *Unit,
+                        const std::vector<std::string> &RowNames,
+                        const std::vector<std::string> &ColNames,
+                        const std::vector<std::vector<double>> &Values);
+
+/// Parses `--scale=X` (default 1.0) from argv.
+double parseScale(int Argc, char **Argv, double Default = 1.0);
+
+} // namespace bench
+} // namespace perceus
+
+#endif // PERCEUS_BENCH_COMMON_H

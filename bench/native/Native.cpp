@@ -1,0 +1,429 @@
+//===- bench/native/Native.cpp - Native C++ baselines --------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Native.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace {
+
+/// A trivial arena: objects are allocated in slabs and all released at
+/// once (the benchmark bodies never free, matching the paper's C++
+/// methodology).
+template <typename T> class Pool {
+public:
+  template <typename... Args> T *make(Args &&...As) {
+    Items.emplace_back(std::forward<Args>(As)...);
+    return &Items.back();
+  }
+
+private:
+  std::deque<T> Items;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// rbtree: std::map
+//===----------------------------------------------------------------------===//
+
+int64_t perceus::native::rbtree(int64_t N) {
+  std::map<int64_t, bool> M;
+  for (int64_t I = 0; I < N; ++I)
+    M[I] = (I % 10 == 0);
+  int64_t Count = 0;
+  for (const auto &[K, V] : M)
+    if (V)
+      ++Count;
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// deriv
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct DExpr {
+  enum class K { Val, Var, Add, Mul, Pow } Kind;
+  int64_t N = 0;
+  const DExpr *A = nullptr;
+  const DExpr *B = nullptr;
+};
+
+struct DerivCtx {
+  Pool<DExpr> P;
+
+  const DExpr *val(int64_t N) {
+    DExpr *E = P.make();
+    E->Kind = DExpr::K::Val;
+    E->N = N;
+    return E;
+  }
+  const DExpr *var() {
+    DExpr *E = P.make();
+    E->Kind = DExpr::K::Var;
+    return E;
+  }
+  const DExpr *node(DExpr::K Kind, const DExpr *A, const DExpr *B,
+                    int64_t N = 0) {
+    DExpr *E = P.make();
+    E->Kind = Kind;
+    E->A = A;
+    E->B = B;
+    E->N = N;
+    return E;
+  }
+
+  const DExpr *mkAdd(const DExpr *A, const DExpr *B) {
+    if (A->Kind == DExpr::K::Val && B->Kind == DExpr::K::Val)
+      return val(A->N + B->N);
+    if (A->Kind == DExpr::K::Val && A->N == 0)
+      return B;
+    if (B->Kind == DExpr::K::Val && B->N == 0)
+      return A;
+    return node(DExpr::K::Add, A, B);
+  }
+
+  const DExpr *mkMul(const DExpr *A, const DExpr *B) {
+    if (A->Kind == DExpr::K::Val && B->Kind == DExpr::K::Val)
+      return val(A->N * B->N);
+    if (A->Kind == DExpr::K::Val) {
+      if (A->N == 0)
+        return val(0);
+      if (A->N == 1)
+        return B;
+    }
+    if (B->Kind == DExpr::K::Val) {
+      if (B->N == 0)
+        return val(0);
+      if (B->N == 1)
+        return A;
+    }
+    return node(DExpr::K::Mul, A, B);
+  }
+
+  const DExpr *mkPow(const DExpr *A, int64_t N) {
+    if (N == 0)
+      return val(1);
+    if (N == 1)
+      return A;
+    return node(DExpr::K::Pow, A, nullptr, N);
+  }
+
+  const DExpr *d(const DExpr *E) {
+    switch (E->Kind) {
+    case DExpr::K::Val:
+      return val(0);
+    case DExpr::K::Var:
+      return val(1);
+    case DExpr::K::Add:
+      return mkAdd(d(E->A), d(E->B));
+    case DExpr::K::Mul:
+      return mkAdd(mkMul(E->A, d(E->B)), mkMul(d(E->A), E->B));
+    case DExpr::K::Pow:
+      return mkMul(mkMul(val(E->N), mkPow(E->A, E->N - 1)), d(E->A));
+    }
+    return nullptr;
+  }
+
+  int64_t size(const DExpr *E, int64_t Acc) {
+    switch (E->Kind) {
+    case DExpr::K::Val:
+    case DExpr::K::Var:
+      return Acc + 1;
+    case DExpr::K::Add:
+    case DExpr::K::Mul:
+      return size(E->B, size(E->A, Acc + 1));
+    case DExpr::K::Pow:
+      return size(E->A, Acc + 1);
+    }
+    return Acc;
+  }
+
+  const DExpr *mkChain(int64_t I) {
+    if (I <= 0)
+      return val(1);
+    return mkMul(node(DExpr::K::Add, var(), val(I)), mkChain(I - 1));
+  }
+};
+
+} // namespace
+
+int64_t perceus::native::deriv(int64_t N) {
+  DerivCtx C;
+  return C.size(C.d(C.d(C.d(C.mkChain(N)))), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// nqueens
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct QList {
+  int64_t Head;
+  const QList *Tail;
+};
+
+struct QCtx {
+  Pool<QList> P;
+
+  const QList *cons(int64_t H, const QList *T) {
+    QList *L = P.make();
+    L->Head = H;
+    L->Tail = T;
+    return L;
+  }
+
+  static bool safe(int64_t Queen, int64_t Diag, const QList *Xs) {
+    for (; Xs; Xs = Xs->Tail, ++Diag) {
+      int64_t Q = Xs->Head;
+      if (Queen == Q || Queen == Q + Diag || Queen == Q - Diag)
+        return false;
+    }
+    return true;
+  }
+
+  // Solutions are lists of lists; the outer list is also a QList whose
+  // heads index into Solns.
+  std::vector<const QList *> findSolutions(int64_t N, int64_t K) {
+    if (K == 0)
+      return {nullptr}; // one empty placement
+    std::vector<const QList *> Prev = findSolutions(N, K - 1);
+    std::vector<const QList *> Out;
+    for (const QList *Soln : Prev)
+      for (int64_t Q = N; Q >= 1; --Q)
+        if (safe(Q, 1, Soln))
+          Out.push_back(cons(Q, Soln));
+    return Out;
+  }
+};
+
+} // namespace
+
+int64_t perceus::native::nqueens(int64_t N) {
+  QCtx C;
+  return static_cast<int64_t>(C.findSolutions(N, N).size());
+}
+
+//===----------------------------------------------------------------------===//
+// cfold
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CExpr {
+  enum class K { Val, Var, Add, Mul } Kind;
+  int64_t N = 0;
+  const CExpr *A = nullptr;
+  const CExpr *B = nullptr;
+};
+
+struct CCtx {
+  Pool<CExpr> P;
+
+  const CExpr *mk(CExpr::K Kind, int64_t N, const CExpr *A = nullptr,
+                  const CExpr *B = nullptr) {
+    CExpr *E = P.make();
+    E->Kind = Kind;
+    E->N = N;
+    E->A = A;
+    E->B = B;
+    return E;
+  }
+
+  const CExpr *mkExpr(int64_t N, int64_t V) {
+    if (N == 0)
+      return V == 0 ? mk(CExpr::K::Var, 1) : mk(CExpr::K::Val, V);
+    return mk(CExpr::K::Add, 0, mkExpr(N - 1, V + 1),
+              mkExpr(N - 1, V == 0 ? 0 : V - 1));
+  }
+
+  const CExpr *appendAdd(const CExpr *E1, const CExpr *E2) {
+    if (E1->Kind == CExpr::K::Add)
+      return mk(CExpr::K::Add, 0, E1->A, appendAdd(E1->B, E2));
+    return mk(CExpr::K::Add, 0, E1, E2);
+  }
+  const CExpr *appendMul(const CExpr *E1, const CExpr *E2) {
+    if (E1->Kind == CExpr::K::Mul)
+      return mk(CExpr::K::Mul, 0, E1->A, appendMul(E1->B, E2));
+    return mk(CExpr::K::Mul, 0, E1, E2);
+  }
+
+  const CExpr *cfold(const CExpr *E) {
+    switch (E->Kind) {
+    case CExpr::K::Add: {
+      const CExpr *A = cfold(E->A);
+      const CExpr *B = cfold(E->B);
+      if (A->Kind == CExpr::K::Val) {
+        if (B->Kind == CExpr::K::Val)
+          return mk(CExpr::K::Val, A->N + B->N);
+        if (B->Kind == CExpr::K::Add) {
+          if (B->A->Kind == CExpr::K::Val)
+            return appendAdd(mk(CExpr::K::Val, A->N + B->A->N), B->B);
+          return appendAdd(mk(CExpr::K::Add, 0, B->A, B->B),
+                           mk(CExpr::K::Val, A->N));
+        }
+      }
+      return mk(CExpr::K::Add, 0, A, B);
+    }
+    case CExpr::K::Mul: {
+      const CExpr *A = cfold(E->A);
+      const CExpr *B = cfold(E->B);
+      if (A->Kind == CExpr::K::Val) {
+        if (B->Kind == CExpr::K::Val)
+          return mk(CExpr::K::Val, A->N * B->N);
+        if (B->Kind == CExpr::K::Mul) {
+          if (B->A->Kind == CExpr::K::Val)
+            return appendMul(mk(CExpr::K::Val, A->N * B->A->N), B->B);
+          return appendMul(mk(CExpr::K::Mul, 0, B->A, B->B),
+                           mk(CExpr::K::Val, A->N));
+        }
+      }
+      return mk(CExpr::K::Mul, 0, A, B);
+    }
+    default:
+      return E;
+    }
+  }
+
+  int64_t eval(const CExpr *E) {
+    switch (E->Kind) {
+    case CExpr::K::Val:
+      return E->N;
+    case CExpr::K::Var:
+      return 0;
+    case CExpr::K::Add:
+      return eval(E->A) + eval(E->B);
+    case CExpr::K::Mul:
+      return eval(E->A) * eval(E->B);
+    }
+    return 0;
+  }
+};
+
+} // namespace
+
+int64_t perceus::native::cfold(int64_t N) {
+  CCtx C;
+  return C.eval(C.cfold(C.mkExpr(N, 1)));
+}
+
+//===----------------------------------------------------------------------===//
+// tmap: Morris traversal (Figure 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TNode {
+  TNode *Left = nullptr;
+  int64_t Value = 0;
+  TNode *Right = nullptr;
+};
+
+struct TCtx {
+  Pool<TNode> P;
+
+  TNode *build(int64_t Depth, int64_t Next) {
+    if (Depth == 0)
+      return nullptr;
+    TNode *N = P.make();
+    N->Left = build(Depth - 1, Next * 2);
+    N->Value = Next;
+    N->Right = build(Depth - 1, Next * 2 + 1);
+    return N;
+  }
+};
+
+/// Figure 2, with f = "add one to the node's value". Stackless: threads
+/// the tree through the predecessors' right pointers.
+template <typename F> void morrisInorder(TNode *Root, F Visit) {
+  TNode *Cursor = Root;
+  while (Cursor != nullptr) {
+    if (Cursor->Left == nullptr) {
+      Visit(Cursor);
+      Cursor = Cursor->Right;
+    } else {
+      TNode *Pre = Cursor->Left;
+      while (Pre->Right != nullptr && Pre->Right != Cursor)
+        Pre = Pre->Right;
+      if (Pre->Right == nullptr) {
+        Pre->Right = Cursor;
+        Cursor = Cursor->Left;
+      } else {
+        Visit(Cursor);
+        Pre->Right = nullptr;
+        Cursor = Cursor->Right;
+      }
+    }
+  }
+}
+
+int64_t recMapSum(TNode *N) {
+  if (!N)
+    return 0;
+  N->Value += 1;
+  return recMapSum(N->Left) + N->Value + recMapSum(N->Right);
+}
+
+} // namespace
+
+int64_t perceus::native::tmapMorris(int64_t Depth) {
+  TCtx C;
+  TNode *Root = C.build(Depth, 1);
+  morrisInorder(Root, [](TNode *N) { N->Value += 1; });
+  int64_t Sum = 0;
+  morrisInorder(Root, [&](TNode *N) { Sum += N->Value; });
+  return Sum;
+}
+
+int64_t perceus::native::tmapRecursive(int64_t Depth) {
+  TCtx C;
+  TNode *Root = C.build(Depth, 1);
+  return recMapSum(Root);
+}
+
+//===----------------------------------------------------------------------===//
+// msort / queue checksum baselines
+//===----------------------------------------------------------------------===//
+
+int64_t perceus::native::msort(int64_t N) {
+  std::vector<int64_t> V;
+  int64_t Seed = 42;
+  for (int64_t I = 0; I != N; ++I) {
+    Seed = (Seed * 1103515245 + 12345) % 2147483648ll;
+    V.push_back(Seed % 100000);
+  }
+  std::stable_sort(V.begin(), V.end());
+  int64_t Sum = 0, Prev = -1;
+  for (int64_t X : V) {
+    if (X < Prev)
+      return -1;
+    Prev = X;
+    Sum += X;
+  }
+  return Sum;
+}
+
+int64_t perceus::native::queue(int64_t N) {
+  std::deque<int64_t> Q;
+  int64_t Acc = 0;
+  for (int64_t I = 0; I != N; ++I) {
+    Q.push_back(I);
+    Q.push_back(I + N);
+    Acc += Q.front();
+    Q.pop_front();
+  }
+  while (!Q.empty()) {
+    Acc += Q.front();
+    Q.pop_front();
+  }
+  return Acc;
+}

@@ -1,0 +1,60 @@
+//===- bench/native/Native.h - Native C++ baselines -------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written C++ implementations of the paper's benchmarks, mirroring
+/// its methodology (Section 4): rbtree uses the in-place mutating
+/// std::map; deriv, nqueens and cfold allocate the same objects as the
+/// functional versions but never reclaim during the run (the paper's
+/// C++ versions "do not reclaim memory at all"; we release everything in
+/// one arena sweep at the end so tests stay leak-free). rbtree-ck has no
+/// C++ version, exactly as in Figure 9 (persistence would require manual
+/// reference counting).
+///
+/// Each function returns the same checksum as the corresponding
+/// `bench_*` program, which the integration tests verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_BENCH_NATIVE_NATIVE_H
+#define PERCEUS_BENCH_NATIVE_NATIVE_H
+
+#include <cstdint>
+
+namespace perceus {
+namespace native {
+
+/// std::map-based red-black insertion (the paper's rbtree baseline).
+int64_t rbtree(int64_t N);
+
+/// Symbolic differentiation, arena-allocated, no per-node reclamation.
+int64_t deriv(int64_t N);
+
+/// n-queens over shared cons lists, arena-allocated.
+int64_t nqueens(int64_t N);
+
+/// Constant folding, arena-allocated.
+int64_t cfold(int64_t N);
+
+/// Figure 2: Morris in-order traversal (stackless, pointer-rotating)
+/// applying +1 to every node of a perfect tree of \p Depth, then
+/// summing. The native counterpart of the FBIP tmap (Section 2.6).
+int64_t tmapMorris(int64_t Depth);
+
+/// Plain recursive in-place tree map + sum (stack proportional to depth).
+int64_t tmapRecursive(int64_t Depth);
+
+/// std::stable_sort over the same LCG-generated values; returns the
+/// element sum (the `bench_msort` checksum).
+int64_t msort(int64_t N);
+
+/// Native deque-based counterpart of `bench_queue`.
+int64_t queue(int64_t N);
+
+} // namespace native
+} // namespace perceus
+
+#endif // PERCEUS_BENCH_NATIVE_NATIVE_H

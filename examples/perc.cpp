@@ -1,0 +1,168 @@
+//===- examples/perc.cpp - The command-line driver ------------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `perc`: compile and run a surface-language program from a file.
+///
+///   perc FILE.perc [options] [ARGS...]
+///
+///   --config=NAME     perceus (default) | perceus-noopt |
+///                     perceus-borrow | scoped-rc | gc
+///   --entry=NAME      entry function (default: main)
+///   --stats           print heap/machine statistics after the run
+///   --dump=FN         print FN after the pipeline instead of running
+///   --stages=FN       print FN at every Figure 1 pipeline stage
+///   ARGS              integer arguments for the entry function
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/Runner.h"
+#include "ir/Printer.h"
+#include "lang/Resolver.h"
+#include "perceus/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace perceus;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: perc FILE.perc [--config=NAME] [--entry=NAME] "
+               "[--stats] [--dump=FN] [--stages=FN] [ARGS...]\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string File, Entry = "main", Dump, Stages;
+  PassConfig Config = PassConfig::perceusFull();
+  bool Stats = false;
+  std::vector<int64_t> Args;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--config=", 9) == 0) {
+      const char *Name = A + 9;
+      if (!std::strcmp(Name, "perceus"))
+        Config = PassConfig::perceusFull();
+      else if (!std::strcmp(Name, "perceus-noopt"))
+        Config = PassConfig::perceusNoOpt();
+      else if (!std::strcmp(Name, "perceus-borrow"))
+        Config = PassConfig::perceusBorrow();
+      else if (!std::strcmp(Name, "scoped-rc"))
+        Config = PassConfig::scoped();
+      else if (!std::strcmp(Name, "gc"))
+        Config = PassConfig::gc();
+      else {
+        std::fprintf(stderr, "error: unknown config '%s'\n", Name);
+        return 1;
+      }
+    } else if (std::strncmp(A, "--entry=", 8) == 0) {
+      Entry = A + 8;
+    } else if (std::strncmp(A, "--dump=", 7) == 0) {
+      Dump = A + 7;
+    } else if (std::strncmp(A, "--stages=", 9) == 0) {
+      Stages = A + 9;
+    } else if (!std::strcmp(A, "--stats")) {
+      Stats = true;
+    } else if (A[0] == '-' && !std::isdigit((unsigned char)A[1])) {
+      usage();
+      return 1;
+    } else if (File.empty()) {
+      File = A;
+    } else {
+      Args.push_back(std::atoll(A));
+    }
+  }
+  if (File.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  if (!Stages.empty()) {
+    Program P;
+    DiagnosticEngine Diags;
+    if (!compileSource(Source, P, Diags)) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    FuncId F = P.findFunction(P.symbols().intern(Stages));
+    if (F == InvalidId) {
+      std::fprintf(stderr, "error: no function '%s'\n", Stages.c_str());
+      return 1;
+    }
+    for (const StageDump &S : runPipelineWithStages(P, F))
+      std::printf("----- %s -----\n%s\n", S.Stage.c_str(), S.Text.c_str());
+    return 0;
+  }
+
+  Runner R(Source, Config);
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s", R.diagnostics().str().c_str());
+    return 1;
+  }
+
+  if (!Dump.empty()) {
+    FuncId F = R.program().findFunction(R.program().symbols().intern(Dump));
+    if (F == InvalidId) {
+      std::fprintf(stderr, "error: no function '%s'\n", Dump.c_str());
+      return 1;
+    }
+    std::printf("%s", printFunction(R.program(), F).c_str());
+    return 0;
+  }
+
+  RunResult Res = R.callInt(Entry, Args);
+  if (!Res.Ok) {
+    std::fprintf(stderr, "runtime error: %s\n", Res.Error.c_str());
+    return 1;
+  }
+  std::fputs(Res.Output.c_str(), stdout);
+  switch (Res.Result.Kind) {
+  case ValueKind::Int:
+    std::printf("%lld\n", (long long)Res.Result.Int);
+    break;
+  case ValueKind::Bool:
+    std::printf("%s\n", Res.Result.asBool() ? "True" : "False");
+    break;
+  case ValueKind::Unit:
+    break;
+  default:
+    std::printf("<%s value>\n",
+                Res.Result.Kind == ValueKind::HeapRef ? "heap" : "opaque");
+    break;
+  }
+
+  if (Stats) {
+    const HeapStats &S = R.heap().stats();
+    std::fprintf(stderr,
+                 "[%s] steps=%llu allocs=%llu frees=%llu dup=%llu "
+                 "drop=%llu reuse=%llu peak=%zuB leaked-cells=%llu\n",
+                 R.config().name(), (unsigned long long)Res.Steps,
+                 (unsigned long long)S.Allocs, (unsigned long long)S.Frees,
+                 (unsigned long long)S.DupOps,
+                 (unsigned long long)S.DropOps,
+                 (unsigned long long)Res.ReuseHits, S.PeakBytes,
+                 (unsigned long long)S.LiveCells);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- examples/persistent_rbtree.cpp - Adaptive in-place vs persistent -------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2.5's punchline: the purely functional red-black insertion of
+/// Appendix A "adapts at runtime to an in-place mutating re-balancing
+/// algorithm" when the tree is unique, and "adapts to copying exactly
+/// the shared spine of the tree" when it is used persistently. We insert
+/// the same keys twice — once threading a unique tree, once retaining
+/// every 5th version — and compare allocations and reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/Runner.h"
+#include "programs/Programs.h"
+
+#include <cstdio>
+
+using namespace perceus;
+
+namespace {
+
+struct Stats {
+  uint64_t Allocs = 0;
+  uint64_t ReuseHits = 0;
+  uint64_t ReuseMisses = 0;
+  int64_t Result = 0;
+};
+
+Stats runInsertions(const char *Source, const char *Entry, int64_t N) {
+  Runner R(Source, PassConfig::perceusFull());
+  if (!R.ok()) {
+    std::printf("compile error:\n%s", R.diagnostics().str().c_str());
+    std::exit(1);
+  }
+  RunResult Res = R.callInt(Entry, {N});
+  if (!Res.Ok) {
+    std::printf("runtime error: %s\n", Res.Error.c_str());
+    std::exit(1);
+  }
+  return {R.heap().stats().Allocs, Res.ReuseHits, Res.ReuseMisses,
+          Res.Result.Int};
+}
+
+} // namespace
+
+int main() {
+  const int64_t N = 20000;
+  std::printf("Okasaki red-black insertion of %lld keys (Appendix A), "
+              "full Perceus pipeline.\n\n",
+              (long long)N);
+
+  Stats Unique = runInsertions(rbtreeSource(), "bench_rbtree", N);
+  std::printf("unique tree (rbtree):\n");
+  std::printf("  fresh allocations : %llu\n",
+              (unsigned long long)Unique.Allocs);
+  std::printf("  in-place reuses   : %llu  (rebalancing mutates in "
+              "place)\n",
+              (unsigned long long)Unique.ReuseHits);
+
+  Stats Shared = runInsertions(rbtreeCkSource(), "bench_rbtree_ck", N);
+  std::printf("\npersistent use (rbtree-ck, every 5th tree retained):\n");
+  std::printf("  fresh allocations : %llu  (the shared spines are "
+              "copied...)\n",
+              (unsigned long long)Shared.Allocs);
+  std::printf("  in-place reuses   : %llu  (...but unshared parts are "
+              "still reused)\n",
+              (unsigned long long)Shared.ReuseHits);
+  std::printf("  reuse misses      : %llu  (shared cells: drop-reuse "
+              "yielded NULL)\n",
+              (unsigned long long)Shared.ReuseMisses);
+
+  double UniqueRate =
+      100.0 * Unique.ReuseHits / (Unique.ReuseHits + Unique.ReuseMisses);
+  double SharedRate =
+      100.0 * Shared.ReuseHits / (Shared.ReuseHits + Shared.ReuseMisses);
+  std::printf("\nreuse success: %.1f%% on the unique tree vs %.1f%% under "
+              "persistence —\n"
+              "the same functional program, adapting to sharing at "
+              "runtime.\n",
+              UniqueRate, SharedRate);
+  std::printf("checksums: %lld / %lld\n", (long long)Unique.Result,
+              (long long)Shared.Result);
+  return 0;
+}

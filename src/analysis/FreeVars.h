@@ -1,0 +1,45 @@
+//===- analysis/FreeVars.h - Free variable analysis -------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free local variables of an expression (fv(e) in the paper, Figure 4).
+/// Globals are static and do not count. The analysis memoizes per node,
+/// since the Perceus insertion rules (Figure 8) query fv of subexpressions
+/// repeatedly while splitting the owned environment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_ANALYSIS_FREEVARS_H
+#define PERCEUS_ANALYSIS_FREEVARS_H
+
+#include "analysis/VarSet.h"
+#include "ir/Expr.h"
+
+#include <unordered_map>
+
+namespace perceus {
+
+/// Computes and caches free-variable sets.
+class FreeVarAnalysis {
+public:
+  /// The free local variables of \p E.
+  const VarSet &freeVars(const Expr *E);
+
+  /// Convenience: is \p X free in \p E?
+  bool isFreeIn(Symbol X, const Expr *E) { return freeVars(E).contains(X); }
+
+  /// Drops all cached results (call after rewriting).
+  void invalidate() { Cache.clear(); }
+
+private:
+  VarSet compute(const Expr *E);
+
+  std::unordered_map<const Expr *, VarSet> Cache;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_ANALYSIS_FREEVARS_H

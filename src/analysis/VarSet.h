@@ -1,0 +1,106 @@
+//===- analysis/VarSet.h - Ordered variable sets ----------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small ordered set of Symbols (sorted by id, duplicate-free) used for
+/// the borrowed/owned environments (Delta and Gamma) of the Perceus
+/// derivation rules. Sets are tiny in practice, so a sorted vector wins;
+/// the ordering also makes emitted dup/drop sequences deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_ANALYSIS_VARSET_H
+#define PERCEUS_ANALYSIS_VARSET_H
+
+#include "support/Symbol.h"
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+namespace perceus {
+
+/// An ordered, duplicate-free set of symbols.
+class VarSet {
+public:
+  VarSet() = default;
+  VarSet(std::initializer_list<Symbol> Xs) {
+    for (Symbol X : Xs)
+      insert(X);
+  }
+
+  bool contains(Symbol X) const {
+    return std::binary_search(Items.begin(), Items.end(), X);
+  }
+
+  /// Inserts \p X; returns true if it was not present.
+  bool insert(Symbol X) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), X);
+    if (It != Items.end() && *It == X)
+      return false;
+    Items.insert(It, X);
+    return true;
+  }
+
+  /// Removes \p X; returns true if it was present.
+  bool erase(Symbol X) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), X);
+    if (It == Items.end() || *It != X)
+      return false;
+    Items.erase(It);
+    return true;
+  }
+
+  void insertAll(const VarSet &Other) {
+    for (Symbol X : Other.Items)
+      insert(X);
+  }
+  void eraseAll(const VarSet &Other) {
+    for (Symbol X : Other.Items)
+      erase(X);
+  }
+
+  /// Set intersection.
+  VarSet intersect(const VarSet &Other) const {
+    VarSet R;
+    std::set_intersection(Items.begin(), Items.end(), Other.Items.begin(),
+                          Other.Items.end(), std::back_inserter(R.Items));
+    return R;
+  }
+
+  /// Set difference (this minus Other).
+  VarSet minus(const VarSet &Other) const {
+    VarSet R;
+    std::set_difference(Items.begin(), Items.end(), Other.Items.begin(),
+                        Other.Items.end(), std::back_inserter(R.Items));
+    return R;
+  }
+
+  /// Set union.
+  VarSet unite(const VarSet &Other) const {
+    VarSet R;
+    std::set_union(Items.begin(), Items.end(), Other.Items.begin(),
+                   Other.Items.end(), std::back_inserter(R.Items));
+    return R;
+  }
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+
+  auto begin() const { return Items.begin(); }
+  auto end() const { return Items.end(); }
+
+  friend bool operator==(const VarSet &A, const VarSet &B) {
+    return A.Items == B.Items;
+  }
+
+private:
+  std::vector<Symbol> Items;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_ANALYSIS_VARSET_H

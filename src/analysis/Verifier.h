@@ -1,0 +1,32 @@
+//===- analysis/Verifier.h - IR well-formedness checks ----------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for IR programs: scoping, constructor
+/// arities, match-arm shape, capture-list accuracy, and program-wide binder
+/// uniqueness (the alpha-renaming invariant the passes rely on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_ANALYSIS_VERIFIER_H
+#define PERCEUS_ANALYSIS_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace perceus {
+
+/// Verifies \p P; returns human-readable violations (empty when valid).
+std::vector<std::string> verifyProgram(const Program &P);
+
+/// Verifies a single function body.
+std::vector<std::string> verifyFunction(const Program &P, FuncId F);
+
+} // namespace perceus
+
+#endif // PERCEUS_ANALYSIS_VERIFIER_H

@@ -1,0 +1,42 @@
+//===- calculus/Generator.h - Random lambda-1 program generator -*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random *closed, terminating* lambda-1 terms for the
+/// property tests of the paper's meta-theory. Terms are simply typed
+/// (one recursive data type `box` plus unary function types) and contain
+/// no recursion, so every generated term normalizes; size and depth are
+/// bounded. The generator drives:
+///
+///   * Theorem 1 (soundness): standard semantics vs. the RC'd machine;
+///   * Theorems 2/4 (garbage-free): the per-step reachability audit;
+///   * pass robustness: every pipeline configuration must produce
+///     linear, well-formed code for every generated term.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_CALCULUS_GENERATOR_H
+#define PERCEUS_CALCULUS_GENERATOR_H
+
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+namespace perceus {
+
+/// A generated test case: a program with one nullary function whose body
+/// is the generated closed term.
+struct GeneratedTerm {
+  FuncId Func = InvalidId;
+  const Expr *Body = nullptr;
+};
+
+/// Generates a random closed term into \p P (declaring the `box` data
+/// type on first use). \p MaxDepth bounds the expression tree depth.
+GeneratedTerm generateTerm(Program &P, Rng &R, unsigned MaxDepth = 6);
+
+} // namespace perceus
+
+#endif // PERCEUS_CALCULUS_GENERATOR_H

@@ -1,0 +1,51 @@
+//===- calculus/SubstEval.h - Standard semantics of lambda-1 ----*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard strict semantics of lambda-1 (Figure 6 of the paper),
+/// implemented as a big-step substitution-based evaluator over the pure
+/// calculus subset of the IR (variables, lambdas, applications, let,
+/// match, constructors). Used as the reference semantics in the
+/// differential tests of Theorem 1 (soundness of the reference-counted
+/// heap semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_CALCULUS_SUBSTEVAL_H
+#define PERCEUS_CALCULUS_SUBSTEVAL_H
+
+#include "ir/Program.h"
+
+#include <optional>
+
+namespace perceus {
+
+/// Result of substitution-based evaluation: a value term (Lam or Con of
+/// values), or nullopt on stuck/fuel exhaustion.
+struct SubstResult {
+  const Expr *Value = nullptr;
+  bool OutOfFuel = false;
+  bool Stuck = false;
+
+  bool ok() const { return Value != nullptr; }
+};
+
+/// Big-step evaluation of closed term \p E under Figure 6 with a fuel
+/// bound (\p Fuel beta/match/let steps).
+SubstResult substEval(Program &P, const Expr *E, uint64_t Fuel = 100000);
+
+/// Capture-avoiding-by-uniqueness substitution e[X := V] where \p V is a
+/// value term. Exposed for the unit tests of the semantics itself.
+const Expr *substitute(Program &P, const Expr *E, Symbol X, const Expr *V);
+
+/// Structural equality of two value terms, comparing constructor trees;
+/// two lambda values compare equal if their bodies are alpha-equivalent
+/// after erasing RC instructions (closures are compared conservatively).
+bool valueEquals(const Program &P, const Expr *A, const Expr *B);
+
+} // namespace perceus
+
+#endif // PERCEUS_CALCULUS_SUBSTEVAL_H

@@ -1,0 +1,120 @@
+//===- eval/Machine.h - The abstract machine --------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An explicit-stack (CEK-style) abstract machine executing RC-
+/// instrumented IR against a Heap. It is the operational counterpart of
+/// the reference-counted heap semantics of Figure 7:
+///
+///   * callee-owns calling convention: argument ownership transfers to
+///     the callee; applying a closure dups its captured environment and
+///     drops the closure (rule app_r);
+///   * all other RC behaviour is explicit in the instrumented IR, so the
+///     machine itself performs no hidden dup/drop — what the Perceus
+///     passes emit is exactly what runs;
+///   * proper tail calls: a call whose continuation is the frame return
+///     reuses the frame, so FBIP loops run in constant stack space
+///     (Section 2.6);
+///   * explicit local/operand stacks double as precise GC roots for the
+///     tracing-collector configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_EVAL_MACHINE_H
+#define PERCEUS_EVAL_MACHINE_H
+
+#include "eval/Layout.h"
+#include "ir/Program.h"
+#include "runtime/Heap.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace perceus {
+
+/// Per-run execution statistics and results.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;       ///< trap message when !Ok
+  Value Result;            ///< final value (immediates only; heap results
+                           ///< are reported as kind HeapRef and dropped)
+  std::string Output;      ///< accumulated println output
+  uint64_t Steps = 0;      ///< expression dispatches executed
+  uint64_t ReuseHits = 0;  ///< Con@ru with a non-null token (in-place)
+  uint64_t ReuseMisses = 0;///< Con@ru that had to allocate fresh
+  uint64_t TailCalls = 0;  ///< frame-reusing calls
+  uint64_t MaxStackDepth = 0; ///< high-water mark of the locals stack
+};
+
+/// Executes programs; see the file comment.
+class Machine {
+public:
+  /// \p Layout must have been produced from \p P *after* all passes ran.
+  Machine(const Program &P, const ProgramLayout &Layout, Heap &H);
+
+  /// Runs function \p F on \p Args (ownership of heap arguments
+  /// transfers to the callee). A heap-valued result is dropped before
+  /// returning (reported in Result.Kind).
+  RunResult run(FuncId F, std::vector<Value> Args);
+
+  /// Maximum expression dispatches before trapping (0 = unlimited).
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+  /// Enumerates every GC root (locals, operands, pending result).
+  void enumerateRoots(const std::function<void(Value)> &Fn) const;
+
+  /// Called with the final value right before the machine releases it
+  /// (heap results are dropped to keep runs garbage free); lets callers
+  /// inspect structured results.
+  void setResultInspector(std::function<void(Value)> Fn) {
+    ResultInspector = std::move(Fn);
+  }
+
+  Heap &heap() { return H; }
+
+private:
+  struct Kont {
+    enum class K : uint8_t { Ret, Let, Seq, If, Args, SetField } Kind;
+    const Expr *Node = nullptr;
+    uint32_t Next = 0;    // Args: next component index
+    size_t Base = 0;      // Ret: previous frame base; Args: operand base
+    size_t FrameStart = 0; // Ret: where the returning frame begins
+  };
+
+  bool step();
+  const Expr *tryRunRcChainToUnit(const Expr *E);
+  bool tryRunRcChainToToken(const Expr *E, Value &Tok);
+  void runRcChain(const Expr *E, const Expr *End);
+  void trap(std::string Msg);
+  void finishArgs(const Kont &K);
+  void doCall(size_t OperandBase, SourceLoc Loc);
+  void finishCon(const ConExpr *C, size_t OperandBase);
+  void finishPrim(const PrimExpr *Pr, size_t OperandBase);
+
+  Value &local(uint32_t Slot) { return Locals[CurBase + Slot]; }
+
+  const Program &P;
+  const ProgramLayout &Layout;
+  Heap &H;
+
+  // Machine registers.
+  const Expr *Code = nullptr; // expression being evaluated (or null)
+  Value Result;               // value produced when Code is null
+  size_t CurBase = 0;
+  std::vector<Value> Locals;
+  std::vector<Value> Operands;
+  std::vector<Kont> Konts;
+
+  RunResult *Run = nullptr;
+  uint64_t StepLimit = 0;
+  bool Trapped = false;
+  std::function<void(Value)> ResultInspector;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_EVAL_MACHINE_H

@@ -1,0 +1,68 @@
+//===- eval/Runner.cpp - One-stop compile-and-run facade ----------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Runner.h"
+
+#include "gc/MarkSweep.h"
+#include "lang/Resolver.h"
+
+using namespace perceus;
+
+Runner::Runner(std::string_view Source, const PassConfig &Config,
+               size_t GcThresholdBytes)
+    : Config(Config) {
+  OwnedProg = std::make_unique<Program>();
+  Prog = OwnedProg.get();
+  if (!compileSource(Source, *Prog, Diags))
+    return;
+  finishSetup(GcThresholdBytes);
+}
+
+Runner::Runner(Program &P, const PassConfig &Config, size_t GcThresholdBytes)
+    : Config(Config), Prog(&P) {
+  finishSetup(GcThresholdBytes);
+}
+
+Runner::~Runner() = default;
+
+void Runner::finishSetup(size_t GcThresholdBytes) {
+  runPipeline(*Prog, Config);
+  Layout.emplace(layoutProgram(*Prog));
+  TheHeap = std::make_unique<Heap>(
+      Config.Mode == RcMode::None ? HeapMode::Gc : HeapMode::Rc,
+      GcThresholdBytes);
+  TheMachine = std::make_unique<Machine>(*Prog, *Layout, *TheHeap);
+  if (TheHeap->mode() == HeapMode::Gc) {
+    Machine *M = TheMachine.get();
+    attachCollector(*TheHeap,
+                    [M](const std::function<void(Value)> &Fn) {
+                      M->enumerateRoots(Fn);
+                    });
+  }
+  Ok = true;
+}
+
+RunResult Runner::callInt(std::string_view Name, std::vector<int64_t> Args) {
+  std::vector<Value> Vals;
+  Vals.reserve(Args.size());
+  for (int64_t A : Args)
+    Vals.push_back(Value::makeInt(A));
+  return call(Name, std::move(Vals));
+}
+
+RunResult Runner::call(std::string_view Name, std::vector<Value> Args) {
+  RunResult R;
+  if (!Ok) {
+    R.Error = "program failed to compile:\n" + Diags.str();
+    return R;
+  }
+  FuncId F = Prog->findFunction(Prog->symbols().intern(Name));
+  if (F == InvalidId) {
+    R.Error = "no such function: " + std::string(Name);
+    return R;
+  }
+  return TheMachine->run(F, std::move(Args));
+}

@@ -1,0 +1,78 @@
+//===- eval/Runner.h - One-stop compile-and-run facade ----------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runner bundles the whole stack — parse, resolve, Perceus pipeline,
+/// frame layout, heap, collector, abstract machine — behind the API the
+/// examples, tests and benchmarks use:
+///
+///   Runner R(Source, PassConfig::perceusFull());
+///   RunResult Res = R.callInt("main", {});
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_EVAL_RUNNER_H
+#define PERCEUS_EVAL_RUNNER_H
+
+#include "eval/Machine.h"
+#include "perceus/Pipeline.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace perceus {
+
+/// See the file comment.
+class Runner {
+public:
+  /// Compiles \p Source under \p Config. Check `ok()` before running.
+  Runner(std::string_view Source, const PassConfig &Config,
+         size_t GcThresholdBytes = 4u << 20);
+
+  /// Wraps an already-resolved program (takes no ownership); runs the
+  /// pipeline on it.
+  Runner(Program &P, const PassConfig &Config,
+         size_t GcThresholdBytes = 4u << 20);
+
+  ~Runner();
+  Runner(const Runner &) = delete;
+  Runner &operator=(const Runner &) = delete;
+
+  bool ok() const { return Ok; }
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+  Program &program() { return *Prog; }
+  Heap &heap() { return *TheHeap; }
+  Machine &machine() { return *TheMachine; }
+  const PassConfig &config() const { return Config; }
+
+  /// Calls function \p Name with integer arguments.
+  RunResult callInt(std::string_view Name, std::vector<int64_t> Args);
+
+  /// Calls function \p Name with arbitrary values.
+  RunResult call(std::string_view Name, std::vector<Value> Args);
+
+  /// After a run in an RC configuration, true iff no cell leaked —
+  /// the dynamic garbage-free-at-exit check.
+  bool heapIsEmpty() const { return TheHeap->empty(); }
+
+private:
+  void finishSetup(size_t GcThresholdBytes);
+
+  PassConfig Config;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> OwnedProg;
+  Program *Prog = nullptr;
+  std::optional<ProgramLayout> Layout;
+  std::unique_ptr<Heap> TheHeap;
+  std::unique_ptr<Machine> TheMachine;
+  bool Ok = false;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_EVAL_RUNNER_H

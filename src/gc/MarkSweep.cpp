@@ -1,0 +1,56 @@
+//===- gc/MarkSweep.cpp - Tracing collector baseline --------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/MarkSweep.h"
+
+#include <vector>
+
+using namespace perceus;
+
+void perceus::collectMarkSweep(Heap &H, const RootEnumerator &Roots) {
+  assert(H.mode() == HeapMode::Gc && "mark-sweep requires a GC-mode heap");
+  ++H.stats().Collections;
+
+  // Mark.
+  std::vector<Cell *> Work;
+  Roots([&](Value V) {
+    if (V.isHeap() && !V.Ref->H.GcMark) {
+      V.Ref->H.GcMark = 1;
+      Work.push_back(V.Ref);
+    }
+  });
+  while (!Work.empty()) {
+    Cell *C = Work.back();
+    Work.pop_back();
+    Value *Fields = C->fields();
+    for (uint32_t I = 0; I != C->H.Arity; ++I) {
+      Value V = Fields[I];
+      if (V.isHeap() && !V.Ref->H.GcMark) {
+        V.Ref->H.GcMark = 1;
+        Work.push_back(V.Ref);
+      }
+    }
+  }
+
+  // Sweep: release unmarked cells, unmark survivors.
+  std::vector<Cell *> &All = H.allCells();
+  size_t Live = 0;
+  for (Cell *C : All) {
+    if (C->H.GcMark) {
+      C->H.GcMark = 0;
+      All[Live++] = C;
+    } else {
+      H.releaseForSweep(C);
+    }
+  }
+  All.resize(Live);
+  H.resetGcThreshold();
+}
+
+void perceus::attachCollector(Heap &H, RootEnumerator Roots) {
+  H.setCollectHook(
+      [&H, Roots = std::move(Roots)] { collectMarkSweep(H, Roots); });
+}

@@ -1,0 +1,37 @@
+//===- ir/Printer.h - IR pretty printer -------------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR expressions and whole programs in a paper-like concrete
+/// syntax. Deterministic output; used by the golden tests that reproduce
+/// the transformation stages of Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_IR_PRINTER_H
+#define PERCEUS_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace perceus {
+
+/// Renders \p E with \p Indent leading levels (two spaces each).
+std::string printExpr(const Program &P, const Expr *E, unsigned Indent = 0);
+
+/// Renders the function \p F including its header.
+std::string printFunction(const Program &P, FuncId F);
+
+/// Renders the whole program (data decls then functions).
+std::string printProgram(const Program &P);
+
+/// Structural equality of expression trees (ignores source locations).
+bool exprEquals(const Expr *A, const Expr *B);
+
+} // namespace perceus
+
+#endif // PERCEUS_IR_PRINTER_H

@@ -1,0 +1,181 @@
+//===- ir/Rewrite.cpp - Generic child-rewriting helper ----------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Rewrite.h"
+
+#include "support/Casting.h"
+
+using namespace perceus;
+
+const Expr *perceus::mapChildren(
+    IRBuilder &B, const Expr *E,
+    const std::function<const Expr *(const Expr *)> &Fn) {
+  switch (E->kind()) {
+  case ExprKind::Lit:
+  case ExprKind::Var:
+  case ExprKind::Global:
+  case ExprKind::ReuseAddr:
+  case ExprKind::NullToken:
+  case ExprKind::TokenValue:
+    return E;
+
+  case ExprKind::Lam: {
+    const auto *L = cast<LamExpr>(E);
+    const Expr *Body = Fn(L->body());
+    if (Body == L->body())
+      return E;
+    return B.lamWithId(L->lamId(), L->params(), L->captures(), Body,
+                       E->loc());
+  }
+
+  case ExprKind::App: {
+    const auto *A = cast<AppExpr>(E);
+    const Expr *FnE = Fn(A->fn());
+    bool Changed = FnE != A->fn();
+    std::vector<const Expr *> Args;
+    for (const Expr *Arg : A->args()) {
+      Args.push_back(Fn(Arg));
+      Changed |= Args.back() != Arg;
+    }
+    if (!Changed)
+      return E;
+    return B.app(FnE, std::span<const Expr *const>(Args.data(), Args.size()),
+                 E->loc());
+  }
+
+  case ExprKind::Let: {
+    const auto *L = cast<LetExpr>(E);
+    const Expr *Bound = Fn(L->bound());
+    const Expr *Body = Fn(L->body());
+    if (Bound == L->bound() && Body == L->body())
+      return E;
+    return B.let(L->name(), Bound, Body, E->loc());
+  }
+
+  case ExprKind::Seq: {
+    const auto *S = cast<SeqExpr>(E);
+    const Expr *First = Fn(S->first());
+    const Expr *Second = Fn(S->second());
+    if (First == S->first() && Second == S->second())
+      return E;
+    return B.seq(First, Second, E->loc());
+  }
+
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    const Expr *C = Fn(I->cond());
+    const Expr *T = Fn(I->thenExpr());
+    const Expr *El = Fn(I->elseExpr());
+    if (C == I->cond() && T == I->thenExpr() && El == I->elseExpr())
+      return E;
+    return B.iff(C, T, El, E->loc());
+  }
+
+  case ExprKind::Match: {
+    const auto *M = cast<MatchExpr>(E);
+    bool Changed = false;
+    std::vector<MatchArm> Arms;
+    for (const MatchArm &Arm : M->arms()) {
+      MatchArm NewArm = Arm;
+      NewArm.Body = Fn(Arm.Body);
+      Changed |= NewArm.Body != Arm.Body;
+      Arms.push_back(NewArm);
+    }
+    if (!Changed)
+      return E;
+    return B.match(M->scrutinee(),
+                   std::span<const MatchArm>(Arms.data(), Arms.size()),
+                   E->loc());
+  }
+
+  case ExprKind::Con: {
+    const auto *C = cast<ConExpr>(E);
+    bool Changed = false;
+    std::vector<const Expr *> Args;
+    for (const Expr *Arg : C->args()) {
+      Args.push_back(Fn(Arg));
+      Changed |= Args.back() != Arg;
+    }
+    if (!Changed)
+      return E;
+    return B.con(C->ctor(),
+                 std::span<const Expr *const>(Args.data(), Args.size()),
+                 C->reuseToken(), E->loc());
+  }
+
+  case ExprKind::Prim: {
+    const auto *Pr = cast<PrimExpr>(E);
+    bool Changed = false;
+    std::vector<const Expr *> Args;
+    for (const Expr *Arg : Pr->args()) {
+      Args.push_back(Fn(Arg));
+      Changed |= Args.back() != Arg;
+    }
+    if (!Changed)
+      return E;
+    return B.prim(Pr->op(),
+                  std::span<const Expr *const>(Args.data(), Args.size()),
+                  E->loc());
+  }
+
+  case ExprKind::Dup: {
+    const auto *D = cast<DupExpr>(E);
+    const Expr *Rest = Fn(D->rest());
+    return Rest == D->rest() ? E : B.dup(D->var(), Rest, E->loc());
+  }
+  case ExprKind::Drop: {
+    const auto *D = cast<DropExpr>(E);
+    const Expr *Rest = Fn(D->rest());
+    return Rest == D->rest() ? E : B.drop(D->var(), Rest, E->loc());
+  }
+  case ExprKind::Free: {
+    const auto *D = cast<FreeExpr>(E);
+    const Expr *Rest = Fn(D->rest());
+    return Rest == D->rest() ? E : B.freeCell(D->var(), Rest, E->loc());
+  }
+  case ExprKind::DecRef: {
+    const auto *D = cast<DecRefExpr>(E);
+    const Expr *Rest = Fn(D->rest());
+    return Rest == D->rest() ? E : B.decref(D->var(), Rest, E->loc());
+  }
+
+  case ExprKind::IsUnique: {
+    const auto *U = cast<IsUniqueExpr>(E);
+    const Expr *T = Fn(U->thenExpr());
+    const Expr *El = Fn(U->elseExpr());
+    if (T == U->thenExpr() && El == U->elseExpr())
+      return E;
+    return B.isUnique(U->var(), T, El, E->loc());
+  }
+
+  case ExprKind::DropReuse: {
+    const auto *D = cast<DropReuseExpr>(E);
+    const Expr *Rest = Fn(D->rest());
+    return Rest == D->rest() ? E
+                             : B.dropReuse(D->var(), D->token(), Rest,
+                                           E->loc());
+  }
+
+  case ExprKind::IsNullToken: {
+    const auto *N = cast<IsNullTokenExpr>(E);
+    const Expr *T = Fn(N->thenExpr());
+    const Expr *El = Fn(N->elseExpr());
+    if (T == N->thenExpr() && El == N->elseExpr())
+      return E;
+    return B.isNullToken(N->token(), T, El, E->loc());
+  }
+
+  case ExprKind::SetField: {
+    const auto *F = cast<SetFieldExpr>(E);
+    const Expr *V = Fn(F->value());
+    const Expr *Rest = Fn(F->rest());
+    if (V == F->value() && Rest == F->rest())
+      return E;
+    return B.setField(F->token(), F->index(), V, Rest, E->loc());
+  }
+  }
+  return E;
+}

@@ -1,0 +1,30 @@
+//===- ir/Rewrite.h - Generic child-rewriting helper ------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `mapChildren` rebuilds an expression applying a callback to each direct
+/// child. Passes use it for the uninteresting cases and special-case only
+/// the nodes they transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_IR_REWRITE_H
+#define PERCEUS_IR_REWRITE_H
+
+#include "ir/Builder.h"
+
+#include <functional>
+
+namespace perceus {
+
+/// Rebuilds \p E with every direct child expression replaced by
+/// `Fn(child)`. Returns \p E itself when nothing changed.
+const Expr *mapChildren(IRBuilder &B, const Expr *E,
+                        const std::function<const Expr *(const Expr *)> &Fn);
+
+} // namespace perceus
+
+#endif // PERCEUS_IR_REWRITE_H

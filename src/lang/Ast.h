@@ -1,0 +1,110 @@
+//===- lang/Ast.h - Surface language syntax tree ----------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parse tree of the surface language. Deliberately separate from the
+/// core IR: surface constructs (nested patterns, if-elif chains, operator
+/// expressions, blocks) are lowered by the resolver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_LANG_AST_H
+#define PERCEUS_LANG_AST_H
+
+#include "lang/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace perceus {
+
+struct SExpr;
+using SExprPtr = std::unique_ptr<SExpr>;
+
+/// A surface pattern (possibly nested).
+struct SPat {
+  enum class K { Ctor, Var, Wild, Int, Bool } Kind = K::Wild;
+  SourceLoc Loc;
+  std::string Name;                       // Ctor / Var
+  int64_t Int = 0;                        // Int / Bool payload
+  std::vector<std::unique_ptr<SPat>> Sub; // Ctor subpatterns
+};
+using SPatPtr = std::unique_ptr<SPat>;
+
+/// One statement of a block: either `val name = expr` or a bare expr.
+struct SStmt {
+  bool IsVal = false;
+  std::string Name; // for val
+  SourceLoc Loc;
+  SExprPtr E;
+};
+
+/// One arm of a surface match.
+struct SMatchArm {
+  SPatPtr Pat;
+  SExprPtr Body;
+};
+
+/// A surface expression.
+struct SExpr {
+  enum class K {
+    IntLit,
+    BoolLit,
+    Unit,
+    Var,    // lowercase identifier (variable or function)
+    Ctor,   // constructor application (possibly nullary)
+    Call,   // A(Args...)
+    Binop,  // A Op B
+    Unop,   // Op A
+    If,     // A ? B : C
+    Match,  // match A { Arms }
+    Lambda, // fn(Params) A
+    Block,  // { Stmts }
+  } Kind = K::Unit;
+
+  SourceLoc Loc;
+  int64_t Int = 0;       // IntLit / BoolLit
+  std::string Name;      // Var / Ctor
+  TokKind Op = TokKind::Eof; // Binop / Unop
+  SExprPtr A, B, C;
+  std::vector<SExprPtr> Args;      // Call / Ctor arguments
+  std::vector<std::string> Params; // Lambda
+  std::vector<SStmt> Stmts;        // Block
+  std::vector<SMatchArm> Arms;     // Match
+};
+
+/// A constructor declaration inside a type declaration.
+struct SCtorDecl {
+  std::string Name;
+  std::vector<std::string> Fields; // field names (may repeat "_")
+  SourceLoc Loc;
+};
+
+/// `type name { ctors }`.
+struct STypeDecl {
+  std::string Name;
+  std::vector<SCtorDecl> Ctors;
+  SourceLoc Loc;
+};
+
+/// `fun name(params) { body }`.
+struct SFunDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  SExprPtr Body;
+  SourceLoc Loc;
+};
+
+/// A parsed source file.
+struct SModule {
+  std::vector<STypeDecl> Types;
+  std::vector<SFunDecl> Funs;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_LANG_AST_H

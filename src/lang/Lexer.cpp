@@ -1,0 +1,327 @@
+//===- lang/Lexer.cpp - Surface language lexer ------------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace perceus;
+
+const char *perceus::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::CtorIdent:
+    return "constructor name";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::KwFun:
+    return "'fun'";
+  case TokKind::KwType:
+    return "'type'";
+  case TokKind::KwVal:
+    return "'val'";
+  case TokKind::KwMatch:
+    return "'match'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElif:
+    return "'elif'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwFn:
+    return "'fn'";
+  case TokKind::KwTrue:
+    return "'True'";
+  case TokKind::KwFalse:
+    return "'False'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Underscore:
+    return "'_'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  }
+  return "?";
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Toks;
+    for (;;) {
+      skipTrivia();
+      Token T = next();
+      Toks.push_back(T);
+      if (T.Kind == TokKind::Eof)
+        break;
+    }
+    return Toks;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    for (;;) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (Pos < Src.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        unsigned Depth = 1;
+        while (Pos < Src.size() && Depth != 0) {
+          if (peek() == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            ++Depth;
+          } else if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            --Depth;
+          } else {
+            advance();
+          }
+        }
+        if (Depth != 0)
+          Diags.error(Start, "unterminated block comment");
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool isIdentStart(char C) { return std::isalpha(uint8_t(C)) || C == '_'; }
+  static bool isIdentCont(char C) {
+    return std::isalnum(uint8_t(C)) || C == '_' || C == '\'';
+  }
+
+  Token make(TokKind K, SourceLoc Loc, size_t Start) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    T.Text = Src.substr(Start, Pos - Start);
+    return T;
+  }
+
+  Token next() {
+    SourceLoc Loc = here();
+    size_t Start = Pos;
+    if (Pos >= Src.size())
+      return make(TokKind::Eof, Loc, Start);
+
+    char C = advance();
+
+    if (std::isdigit(uint8_t(C))) {
+      int64_t V = C - '0';
+      while (std::isdigit(uint8_t(peek())))
+        V = V * 10 + (advance() - '0');
+      Token T = make(TokKind::IntLit, Loc, Start);
+      T.IntValue = V;
+      return T;
+    }
+
+    if (isIdentStart(C)) {
+      // Identifiers may contain single dashes between alphanumerics
+      // ("bal-left", "is-red"), as in the paper's Koka programs.
+      for (;;) {
+        if (isIdentCont(peek())) {
+          advance();
+          continue;
+        }
+        if (peek() == '-' && isIdentStart(peek(1))) {
+          advance();
+          advance();
+          continue;
+        }
+        break;
+      }
+      std::string_view Text = Src.substr(Start, Pos - Start);
+      if (Text == "_")
+        return make(TokKind::Underscore, Loc, Start);
+      if (Text == "fun")
+        return make(TokKind::KwFun, Loc, Start);
+      if (Text == "type")
+        return make(TokKind::KwType, Loc, Start);
+      if (Text == "val")
+        return make(TokKind::KwVal, Loc, Start);
+      if (Text == "match")
+        return make(TokKind::KwMatch, Loc, Start);
+      if (Text == "if")
+        return make(TokKind::KwIf, Loc, Start);
+      if (Text == "then")
+        return make(TokKind::KwThen, Loc, Start);
+      if (Text == "elif")
+        return make(TokKind::KwElif, Loc, Start);
+      if (Text == "else")
+        return make(TokKind::KwElse, Loc, Start);
+      if (Text == "fn")
+        return make(TokKind::KwFn, Loc, Start);
+      if (Text == "True")
+        return make(TokKind::KwTrue, Loc, Start);
+      if (Text == "False")
+        return make(TokKind::KwFalse, Loc, Start);
+      return make(std::isupper(uint8_t(Text[0])) ? TokKind::CtorIdent
+                                                 : TokKind::Ident,
+                  Loc, Start);
+    }
+
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Loc, Start);
+    case ')':
+      return make(TokKind::RParen, Loc, Start);
+    case '{':
+      return make(TokKind::LBrace, Loc, Start);
+    case '}':
+      return make(TokKind::RBrace, Loc, Start);
+    case ',':
+      return make(TokKind::Comma, Loc, Start);
+    case ';':
+      return make(TokKind::Semi, Loc, Start);
+    case '+':
+      return make(TokKind::Plus, Loc, Start);
+    case '*':
+      return make(TokKind::Star, Loc, Start);
+    case '/':
+      return make(TokKind::Slash, Loc, Start);
+    case '%':
+      return make(TokKind::Percent, Loc, Start);
+    case '-':
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Arrow, Loc, Start);
+      }
+      return make(TokKind::Minus, Loc, Start);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le, Loc, Start);
+      }
+      return make(TokKind::Lt, Loc, Start);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge, Loc, Start);
+      }
+      return make(TokKind::Gt, Loc, Start);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Loc, Start);
+      }
+      return make(TokKind::Assign, Loc, Start);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::NotEq, Loc, Start);
+      }
+      return make(TokKind::Bang, Loc, Start);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AndAnd, Loc, Start);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::OrOr, Loc, Start);
+      }
+      break;
+    default:
+      break;
+    }
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+
+  std::string_view Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> perceus::lex(std::string_view Source,
+                                DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

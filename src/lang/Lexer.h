@@ -1,0 +1,88 @@
+//===- lang/Lexer.h - Surface language lexer --------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Koka-like surface language. Identifiers starting with
+/// an uppercase letter are constructor names; lowercase identifiers are
+/// variables and functions. Supports `//` line and `/* */` block comments
+/// and dashes inside identifiers (`bal-left`, as in the paper's programs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_LANG_LEXER_H
+#define PERCEUS_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perceus {
+
+/// Token kinds of the surface language.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,      // lowercase identifier
+  CtorIdent,  // Uppercase identifier
+  IntLit,
+  // Keywords.
+  KwFun,
+  KwType,
+  KwVal,
+  KwMatch,
+  KwIf,
+  KwThen,
+  KwElif,
+  KwElse,
+  KwFn,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Arrow,    // ->
+  Assign,   // =
+  Underscore,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  Bang,
+  AndAnd,
+  OrOr,
+};
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text; // points into the source buffer
+  int64_t IntValue = 0;  // for IntLit
+};
+
+/// Returns a printable name for \p K (used in parse errors).
+const char *tokKindName(TokKind K);
+
+/// Tokenizes \p Source. Errors are reported to \p Diags; lexing continues
+/// past errors where possible.
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace perceus
+
+#endif // PERCEUS_LANG_LEXER_H

@@ -1,0 +1,26 @@
+//===- lang/Parser.h - Surface language parser ------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the surface language. On error it reports
+/// to the DiagnosticEngine and attempts to recover at declaration
+/// boundaries; callers must check `Diags.hasErrors()`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_LANG_PARSER_H
+#define PERCEUS_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+namespace perceus {
+
+/// Parses \p Source into a module.
+SModule parseModule(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace perceus
+
+#endif // PERCEUS_LANG_PARSER_H

@@ -1,0 +1,39 @@
+//===- lang/Resolver.h - Surface to core IR lowering ------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed surface module into the core IR:
+///
+///   * declares data types and (mutually recursive) functions,
+///   * alpha-renames every binder to a program-unique symbol,
+///   * compiles nested patterns into single-level matches
+///     (pattern-matrix specialization), naming binders after the
+///     source patterns where possible,
+///   * let-binds non-variable match scrutinees (the smatch rule of
+///     Figure 8 requires variable scrutinees),
+///   * desugars blocks, `if`/`elif`, `&&`/`||`, and operators,
+///   * computes lambda capture lists (the `ys` annotation of Figure 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_LANG_RESOLVER_H
+#define PERCEUS_LANG_RESOLVER_H
+
+#include "ir/Program.h"
+#include "lang/Ast.h"
+
+namespace perceus {
+
+/// Lowers \p M into \p P. Returns false (with diagnostics) on error.
+bool resolveModule(const SModule &M, Program &P, DiagnosticEngine &Diags);
+
+/// Convenience: parse + resolve in one step.
+bool compileSource(std::string_view Source, Program &P,
+                   DiagnosticEngine &Diags);
+
+} // namespace perceus
+
+#endif // PERCEUS_LANG_RESOLVER_H

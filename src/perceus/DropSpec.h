@@ -1,0 +1,41 @@
+//===- perceus/DropSpec.h - Drop specialization -----------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drop specialization (Section 2.3): inlines `drop x` at a constructor
+/// known from the enclosing match into an is-unique test —
+///
+///   drop x; e   ==>   if is-unique(x) then { drop children; free x }
+///                     else decref x;
+///                     e
+///
+/// and specializes `drop-reuse` the same way (Section 2.4, Figure 1f):
+///
+///   val ru = drop-reuse(x); e   ==>
+///   val ru = if is-unique(x) then { drop children; &x }
+///            else { decref x; NULL };
+///   e
+///
+/// Specialization is applied only where the children are used in the
+/// branch (the paper skips e.g. the Nil branch), so the generic recursive
+/// drop handles the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_PERCEUS_DROPSPEC_H
+#define PERCEUS_PERCEUS_DROPSPEC_H
+
+#include "ir/Program.h"
+
+namespace perceus {
+
+/// Runs drop specialization on every function (or one function).
+void runDropSpecialization(Program &P);
+void runDropSpecialization(Program &P, FuncId F);
+
+} // namespace perceus
+
+#endif // PERCEUS_PERCEUS_DROPSPEC_H

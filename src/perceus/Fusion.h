@@ -1,0 +1,36 @@
+//===- perceus/Fusion.h - Dup push-down and dup/drop fusion -----*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "push down dup and fusion" step of Sections 2.3/2.4 (Figures 1d
+/// and 1g):
+///
+///   * cancels matching `dup y; ...; drop y` pairs within straight-line
+///     sequences of RC instructions (sound because all dups precede all
+///     drops in Perceus output, so reference counts never transiently
+///     reach zero);
+///   * pushes remaining dups into the branches of a following is-unique
+///     test when the unique path drops them (so they cancel there,
+///     leaving the fast path free of RC operations);
+///   * sinks unrelated dups past the is-unique test toward their
+///     consumers ("delay a dup as late as possible").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_PERCEUS_FUSION_H
+#define PERCEUS_PERCEUS_FUSION_H
+
+#include "ir/Program.h"
+
+namespace perceus {
+
+/// Runs dup push-down + fusion on every function (or one function).
+void runFusion(Program &P);
+void runFusion(Program &P, FuncId F);
+
+} // namespace perceus
+
+#endif // PERCEUS_PERCEUS_FUSION_H

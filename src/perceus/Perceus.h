@@ -1,0 +1,56 @@
+//===- perceus/Perceus.h - Precise dup/drop insertion -----------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Perceus reference-count insertion algorithm: the syntax-directed
+/// derivation of Figure 8 of the paper, implemented as an IR-to-IR pass.
+/// Also provides the scoped-lifetime baseline inserter (the "many
+/// compilers emit code similar to" strategy of Section 2.2: C++
+/// shared_ptr / Swift-style lexical-scope reference counting).
+///
+/// Perceus invariants maintained during the derivation (Section 3.4):
+///   (1) Delta and Gamma are disjoint;
+///   (2) Gamma is a subset of fv(e);
+///   (3) fv(e) is a subset of Delta union Gamma;
+///   (4) every member of Delta, Gamma has multiplicity 1.
+///
+/// The output is precise ("garbage free"): dups are pushed to the leaves
+/// of the derivation and drops are emitted as early as possible (right
+/// after a binding or at the start of a branch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_PERCEUS_PERCEUS_H
+#define PERCEUS_PERCEUS_PERCEUS_H
+
+#include "ir/Program.h"
+#include "perceus/Borrow.h"
+
+namespace perceus {
+
+/// Rewrites every function of \p P with precise Perceus dup/drop
+/// instructions. Bodies must not already contain RC instructions.
+/// With \p Borrow (from inferBorrowSignatures), borrowed parameters are
+/// placed in the borrowed environment Delta instead of Gamma: callees
+/// never consume them and call sites do not transfer ownership — the
+/// Section 6 extension.
+void insertPerceus(Program &P, const BorrowSignatures *Borrow = nullptr);
+
+/// Rewrites one function.
+void insertPerceus(Program &P, FuncId F,
+                   const BorrowSignatures *Borrow = nullptr);
+
+/// Rewrites every function of \p P with scoped-lifetime (lexical) RC:
+/// every use copies (dup), every binding is released at the end of its
+/// scope. No precision, no reuse — the baseline of Section 2.2.
+void insertScopedRc(Program &P);
+
+/// Rewrites one function with scoped-lifetime RC.
+void insertScopedRc(Program &P, FuncId F);
+
+} // namespace perceus
+
+#endif // PERCEUS_PERCEUS_PERCEUS_H

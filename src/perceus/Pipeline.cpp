@@ -1,0 +1,89 @@
+//===- perceus/Pipeline.cpp - Pass pipeline ----------------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perceus/Pipeline.h"
+
+#include "ir/Printer.h"
+#include "perceus/DropSpec.h"
+#include "perceus/Fusion.h"
+#include "perceus/Borrow.h"
+#include "perceus/Perceus.h"
+#include "perceus/Reuse.h"
+
+using namespace perceus;
+
+const char *PassConfig::name() const {
+  switch (Mode) {
+  case RcMode::None:
+    return "gc";
+  case RcMode::Scoped:
+    return "scoped-rc";
+  case RcMode::Perceus:
+    break;
+  }
+  if (EnableBorrow)
+    return "perceus-borrow";
+  if (EnableReuse && EnableDropSpec)
+    return "perceus";
+  if (!EnableReuse && !EnableDropSpec && !EnableFusion)
+    return "perceus-noopt";
+  return "perceus-custom";
+}
+
+void perceus::runPipeline(Program &P, const PassConfig &Config) {
+  switch (Config.Mode) {
+  case RcMode::None:
+    return; // erased program: the tracing collector manages memory
+  case RcMode::Scoped:
+    insertScopedRc(P);
+    return;
+  case RcMode::Perceus:
+    break;
+  }
+  if (Config.EnableBorrow) {
+    BorrowSignatures Sigs = inferBorrowSignatures(P);
+    insertPerceus(P, &Sigs);
+  } else {
+    insertPerceus(P);
+  }
+  if (Config.EnableReuse)
+    runReuseAnalysis(P);
+  if (Config.EnableReuse && Config.EnableReuseSpec)
+    runReuseSpecialization(P);
+  if (Config.EnableDropSpec)
+    runDropSpecialization(P);
+  if (Config.EnableFusion)
+    runFusion(P);
+}
+
+std::vector<StageDump> perceus::runPipelineWithStages(Program &P, FuncId F) {
+  std::vector<StageDump> Dumps;
+  auto dump = [&](const char *Stage) {
+    Dumps.push_back({Stage, printFunction(P, F)});
+  };
+
+  dump("(a) original");
+  insertPerceus(P, F);
+  dump("(b) dup/drop insertion (2.2)");
+  const Expr *Inserted = P.function(F).Body;
+
+  // Left column of Figure 1: drop specialization without reuse.
+  runDropSpecialization(P, F);
+  dump("(c) drop specialization (2.3)");
+  runFusion(P, F);
+  dump("(d) push down dup and fusion (2.3)");
+
+  // Right column of Figure 1: the reuse pipeline, from (b) again.
+  P.setBody(F, Inserted);
+  runReuseAnalysis(P, F);
+  dump("(e) reuse token insertion (2.4)");
+  runDropSpecialization(P, F);
+  dump("(f) drop-reuse specialization (2.4)");
+  runFusion(P, F);
+  dump("(g) push down dup and fusion (2.4)");
+
+  return Dumps;
+}

@@ -1,0 +1,39 @@
+//===- perceus/Reuse.h - Reuse analysis and specialization ------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reuse analysis (Section 2.4 of the paper): pairs dropped matched cells
+/// with same-size constructor allocations, turning `drop x` into
+/// `val ru = drop-reuse(x)` and the paired allocation into `Con@ru(...)`,
+/// so a unique cell is updated in place instead of freed and reallocated.
+///
+/// Reuse specialization (Section 2.5): rewrites `Con@ru(...)` whose token
+/// originates from the *same* constructor into an explicit null-token
+/// dispatch that assigns only the fields that changed.
+///
+/// Both run on RC-instrumented IR (after Perceus insertion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_PERCEUS_REUSE_H
+#define PERCEUS_PERCEUS_REUSE_H
+
+#include "ir/Program.h"
+
+namespace perceus {
+
+/// Runs reuse analysis on every function (or one function).
+void runReuseAnalysis(Program &P);
+void runReuseAnalysis(Program &P, FuncId F);
+
+/// Runs reuse specialization on every function (or one function).
+/// Must run after reuse analysis and before drop specialization.
+void runReuseSpecialization(Program &P);
+void runReuseSpecialization(Program &P, FuncId F);
+
+} // namespace perceus
+
+#endif // PERCEUS_PERCEUS_REUSE_H

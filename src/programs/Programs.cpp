@@ -1,0 +1,632 @@
+//===- programs/Programs.cpp - The paper's benchmark programs -----------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+#include <string>
+
+using namespace perceus;
+
+//===----------------------------------------------------------------------===//
+// rbtree (Appendix A, Figure 10)
+//===----------------------------------------------------------------------===//
+
+static const char *RbtreeCommon = R"(
+type color {
+  Red
+  Black
+}
+
+type tree {
+  Leaf
+  Node(color, left, key, value, right)
+}
+
+fun is-red(t) {
+  match t {
+    Node(Red, l, k, v, r) -> True
+    _ -> False
+  }
+}
+
+fun bal-left(l, k, v, r) {
+  match l {
+    Leaf -> Leaf
+    Node(c1, Node(Red, lx, kx, vx, rx), ky, vy, ry)
+      -> Node(Red, Node(Black, lx, kx, vx, rx), ky, vy,
+              Node(Black, ry, k, v, r))
+    Node(c2, ly, ky, vy, Node(Red, lx, kx, vx, rx))
+      -> Node(Red, Node(Black, ly, ky, vy, lx), kx, vx,
+              Node(Black, rx, k, v, r))
+    Node(c3, lx, kx, vx, rx)
+      -> Node(Black, Node(Red, lx, kx, vx, rx), k, v, r)
+  }
+}
+
+fun bal-right(l, k, v, r) {
+  match r {
+    Leaf -> Leaf
+    Node(c1, Node(Red, lx, kx, vx, rx), ky, vy, ry)
+      -> Node(Red, Node(Black, l, k, v, lx), kx, vx,
+              Node(Black, rx, ky, vy, ry))
+    Node(c2, lx, kx, vx, Node(Red, ly, ky, vy, ry))
+      -> Node(Red, Node(Black, l, k, v, lx), kx, vx,
+              Node(Black, ly, ky, vy, ry))
+    Node(c3, lx, kx, vx, rx)
+      -> Node(Black, l, k, v, Node(Red, lx, kx, vx, rx))
+  }
+}
+
+fun ins(t, k, v) {
+  match t {
+    Leaf -> Node(Red, Leaf, k, v, Leaf)
+    Node(Red, l, kx, vx, r)
+      -> if k < kx then Node(Red, ins(l, k, v), kx, vx, r)
+         elif k == kx then Node(Red, l, k, v, r)
+         else Node(Red, l, kx, vx, ins(r, k, v))
+    Node(Black, l, kx, vx, r)
+      -> if k < kx then {
+           if is-red(l) then bal-left(ins(l, k, v), kx, vx, r)
+           else Node(Black, ins(l, k, v), kx, vx, r)
+         }
+         elif k == kx then Node(Black, l, k, v, r)
+         elif is-red(r) then bal-right(l, kx, vx, ins(r, k, v))
+         else Node(Black, l, kx, vx, ins(r, k, v))
+  }
+}
+
+fun set-black(t) {
+  match t {
+    Node(c, l, k, v, r) -> Node(Black, l, k, v, r)
+    _ -> t
+  }
+}
+
+fun insert(t, k, v) {
+  if is-red(t) then set-black(ins(t, k, v))
+  else ins(t, k, v)
+}
+
+fun count-true(t, acc) {
+  match t {
+    Leaf -> acc
+    Node(c, l, k, v, r)
+      -> count-true(r, count-true(l, if v then acc + 1 else acc))
+  }
+}
+)";
+
+const char *perceus::rbtreeSource() {
+  static const std::string Src = std::string(RbtreeCommon) + R"(
+fun build(i, n, t) {
+  if i >= n then t
+  else build(i + 1, n, insert(t, i, i % 10 == 0))
+}
+
+fun bench_rbtree(n) {
+  count-true(build(0, n, Leaf), 0)
+}
+)";
+  return Src.c_str();
+}
+
+const char *perceus::rbtreeCkSource() {
+  static const std::string Src = std::string(RbtreeCommon) + R"(
+type treelist {
+  TCons(thead, ttail)
+  TNil
+}
+
+// Keep every 5th tree: the retained trees share most of their structure
+// with the evolving tree, so many cells are not unique.
+fun build-ck(i, n, t, acc) {
+  if i >= n then TCons(t, acc)
+  else {
+    val t2 = insert(t, i, i % 10 == 0)
+    if i % 5 == 0 then build-ck(i + 1, n, t2, TCons(t2, acc))
+    else build-ck(i + 1, n, t2, acc)
+  }
+}
+
+fun bench_rbtree_ck(n) {
+  match build-ck(0, n, Leaf, TNil) {
+    TCons(t, rest) -> count-true(t, 0)
+    TNil -> 0
+  }
+}
+)";
+  return Src.c_str();
+}
+
+//===----------------------------------------------------------------------===//
+// deriv (symbolic differentiation, after the Lean benchmark suite)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::derivSource() {
+  return R"(
+type expr {
+  Val(n)
+  Varx
+  Add(a, b)
+  Mul(a, b)
+  Pow(a, n)
+}
+
+// Smart constructors do algebraic simplification as the Lean/Koka
+// benchmark does, so the derivative stays manageable.
+fun mk-add(a, b) {
+  match a {
+    Val(x) -> match b {
+      Val(y) -> Val(x + y)
+      _ -> if x == 0 then b else Add(a, b)
+    }
+    _ -> match b {
+      Val(y) -> if y == 0 then a else Add(a, b)
+      _ -> Add(a, b)
+    }
+  }
+}
+
+fun mk-mul(a, b) {
+  match a {
+    Val(x) -> match b {
+      Val(y) -> Val(x * y)
+      _ -> if x == 0 then { Val(0) } elif x == 1 then b else Mul(a, b)
+    }
+    _ -> match b {
+      Val(y) -> if y == 0 then { Val(0) } elif y == 1 then a else Mul(a, b)
+      _ -> Mul(a, b)
+    }
+  }
+}
+
+fun mk-pow(a, n) {
+  if n == 0 then Val(1)
+  elif n == 1 then a
+  else Pow(a, n)
+}
+
+fun d(e) {
+  match e {
+    Val(n) -> Val(0)
+    Varx -> Val(1)
+    Add(a, b) -> mk-add(d(a), d(b))
+    Mul(a, b) -> mk-add(mk-mul(a, d(b)), mk-mul(d(a), b))
+    Pow(a, n) -> mk-mul(mk-mul(Val(n), mk-pow(a, n - 1)), d(a))
+  }
+}
+
+fun size(e, acc) {
+  match e {
+    Val(n) -> acc + 1
+    Varx -> acc + 1
+    Add(a, b) -> size(b, size(a, acc + 1))
+    Mul(a, b) -> size(b, size(a, acc + 1))
+    Pow(a, n) -> size(a, acc + 1)
+  }
+}
+
+// (x + 1)^n, expanded as a product chain so the derivative is large.
+fun mk-chain(i) {
+  if i <= 0 then Val(1)
+  else mk-mul(Add(Varx, Val(i)), mk-chain(i - 1))
+}
+
+fun bench_deriv(n) {
+  size(d(d(d(mk-chain(n)))), 0)
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// nqueens (all solutions, shared sub-solutions)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::nqueensSource() {
+  return R"(
+type list {
+  Cons(head, tail)
+  Nil
+}
+
+fun safe(queen, diag, xs) {
+  match xs {
+    Nil -> True
+    Cons(q, qs) ->
+      queen != q && queen != q + diag && queen != q - diag &&
+      safe(queen, diag + 1, qs)
+  }
+}
+
+// Extend one partial solution with every safe row for the next column.
+// Each new solution shares its tail with the partial solution.
+fun append-safe(k, soln, solns) {
+  if k <= 0 then solns
+  elif safe(k, 1, soln) then
+    append-safe(k - 1, soln, Cons(Cons(k, soln), solns))
+  else append-safe(k - 1, soln, solns)
+}
+
+fun extend(n, acc, solns) {
+  match solns {
+    Nil -> acc
+    Cons(soln, rest) -> extend(n, append-safe(n, soln, acc), rest)
+  }
+}
+
+fun find-solutions(n, k) {
+  if k == 0 then Cons(Nil, Nil)
+  else extend(n, Nil, find-solutions(n, k - 1))
+}
+
+fun len(xs, acc) {
+  match xs {
+    Nil -> acc
+    Cons(x, rest) -> len(rest, acc + 1)
+  }
+}
+
+fun bench_nqueens(n) {
+  len(find-solutions(n, n), 0)
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// cfold (constant folding, after the Lean benchmark suite)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::cfoldSource() {
+  return R"(
+type expr {
+  Val(n)
+  Varn(x)
+  Add(a, b)
+  Mul(a, b)
+}
+
+fun mk-expr(n, v) {
+  if n == 0 then {
+    if v == 0 then Varn(1) else Val(v)
+  } else {
+    Add(mk-expr(n - 1, v + 1), mk-expr(n - 1, if v == 0 then 0 else v - 1))
+  }
+}
+
+fun append-add(e1, e2) {
+  match e1 {
+    Add(a, b) -> Add(a, append-add(b, e2))
+    _ -> Add(e1, e2)
+  }
+}
+
+fun append-mul(e1, e2) {
+  match e1 {
+    Mul(a, b) -> Mul(a, append-mul(b, e2))
+    _ -> Mul(e1, e2)
+  }
+}
+
+fun cfold(e) {
+  match e {
+    Add(a, b) -> {
+      val a2 = cfold(a)
+      val b2 = cfold(b)
+      match a2 {
+        Val(x) -> match b2 {
+          Val(y) -> Val(x + y)
+          Add(bb1, bb2) -> match bb1 {
+            Val(y2) -> append-add(Val(x + y2), bb2)
+            _ -> append-add(Add(bb1, bb2), Val(x))
+          }
+          _ -> Add(a2, b2)
+        }
+        _ -> Add(a2, b2)
+      }
+    }
+    Mul(a, b) -> {
+      val a2 = cfold(a)
+      val b2 = cfold(b)
+      match a2 {
+        Val(x) -> match b2 {
+          Val(y) -> Val(x * y)
+          Mul(bb1, bb2) -> match bb1 {
+            Val(y2) -> append-mul(Val(x * y2), bb2)
+            _ -> append-mul(Mul(bb1, bb2), Val(x))
+          }
+          _ -> Mul(a2, b2)
+        }
+        _ -> Mul(a2, b2)
+      }
+    }
+    _ -> e
+  }
+}
+
+fun eval(e) {
+  match e {
+    Val(n) -> n
+    Varn(x) -> 0
+    Add(a, b) -> eval(a) + eval(b)
+    Mul(a, b) -> eval(a) * eval(b)
+  }
+}
+
+fun bench_cfold(n) {
+  eval(cfold(mk-expr(n, 1)))
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// tmap (Figure 3: FBIP visitor traversal vs naive recursion)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::tmapSource() {
+  return R"(
+type tree {
+  Tip
+  Bin(left, value, right)
+}
+
+type visitor {
+  Done
+  BinR(right, value, visit)
+  BinL(left, value, visit)
+}
+
+type direction {
+  Up
+  Down
+}
+
+// Figure 3, verbatim: in-order map via an explicit visitor. All calls
+// are tail calls, and each matched cell pairs with a same-size
+// allocation, so a unique tree is updated fully in place in constant
+// stack space.
+fun tmap-fbip(t, visit, d) {
+  match d {
+    Down -> match t {
+      Bin(l, x, r) -> tmap-fbip(l, BinR(r, x, visit), Down)   // A
+      Tip -> tmap-fbip(Tip, visit, Up)                        // B
+    }
+    Up -> match visit {
+      Done -> t                                               // C
+      BinR(r, x, v) -> tmap-fbip(r, BinL(t, x + 1, v), Down)  // D
+      BinL(l, x, v) -> tmap-fbip(Bin(l, x, t), v, Up)         // E
+    }
+  }
+}
+
+// The naive recursive map: also reuses in place when unique, but needs
+// stack proportional to the tree depth.
+fun tmap-naive(t) {
+  match t {
+    Bin(l, x, r) -> Bin(tmap-naive(l), x + 1, tmap-naive(r))
+    Tip -> Tip
+  }
+}
+
+fun build-tree(depth, next) {
+  if depth == 0 then Tip
+  else Bin(build-tree(depth - 1, next * 2), next, build-tree(depth - 1, next * 2 + 1))
+}
+
+fun tree-sum(t, acc) {
+  match t {
+    Tip -> acc
+    Bin(l, x, r) -> tree-sum(r, tree-sum(l, acc + x))
+  }
+}
+
+fun bench_tmap_fbip(depth) {
+  tree-sum(tmap-fbip(build-tree(depth, 1), Done, Down), 0)
+}
+
+fun bench_tmap_naive(depth) {
+  tree-sum(tmap-naive(build-tree(depth, 1)), 0)
+}
+
+// A degenerate right spine of n nodes, built tail-recursively, to
+// contrast stack usage: the naive map recurses n deep, the FBIP visitor
+// stays in constant stack (Section 2.6's Knuth/Morris point).
+fun build-spine(n, t) {
+  if n == 0 then t else build-spine(n - 1, Bin(Tip, n, t))
+}
+
+fun bench_spine_fbip(n) {
+  tree-sum(tmap-fbip(build-spine(n, Tip), Done, Down), 0)
+}
+
+fun bench_spine_naive(n) {
+  tree-sum(tmap-naive(build-spine(n, Tip)), 0)
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// map/sum (the Section 2.2 precision example)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::mapSumSource() {
+  return R"(
+type list {
+  Cons(head, tail)
+  Nil
+}
+
+fun iota(n) {
+  if n <= 0 then Nil else Cons(n, iota(n - 1))
+}
+
+fun map(xs, f) {
+  match xs {
+    Cons(x, xx) -> Cons(f(x), map(xx, f))
+    Nil -> Nil
+  }
+}
+
+fun inc(x) { x + 1 }
+
+fun sum(xs, acc) {
+  match xs {
+    Cons(x, xx) -> sum(xx, acc + x)
+    Nil -> acc
+  }
+}
+
+fun bench_mapsum(n) {
+  sum(map(iota(n), inc), 0)
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// msort (FBIP merge sort)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::msortSource() {
+  return R"(
+type list {
+  Cons(head, tail)
+  Nil
+}
+
+type pair {
+  P(fst, snd)
+}
+
+// Deterministic pseudo-random list (LCG; values below 2^31).
+fun randlist(n, seed) {
+  if n == 0 then Nil
+  else {
+    val next = (seed * 1103515245 + 12345) % 2147483648
+    Cons(next % 100000, randlist(n - 1, next))
+  }
+}
+
+// Unzip into two halves; every matched Cons pairs with a new Cons.
+fun split(xs) {
+  match xs {
+    Nil -> P(Nil, Nil)
+    Cons(x, rest) -> match split(rest) {
+      P(a, b) -> P(Cons(x, b), a)
+    }
+  }
+}
+
+fun merge(xs, ys) {
+  match xs {
+    Nil -> ys
+    Cons(x, xt) -> match ys {
+      Nil -> Cons(x, xt)
+      Cons(y, yt) ->
+        if x <= y then Cons(x, merge(xt, Cons(y, yt)))
+        else Cons(y, merge(Cons(x, xt), yt))
+    }
+  }
+}
+
+fun msort(xs) {
+  match xs {
+    Nil -> Nil
+    Cons(x, Nil) -> Cons(x, Nil)
+    _ -> match split(xs) {
+      P(a, b) -> merge(msort(a), msort(b))
+    }
+  }
+}
+
+// Fold checking sortedness while summing; -1 when out of order.
+fun checked-sum(xs, prev, acc) {
+  match xs {
+    Nil -> acc
+    Cons(x, rest) ->
+      if x < prev then 0 - 1
+      else checked-sum(rest, x, acc + x)
+  }
+}
+
+fun bench_msort(n) {
+  checked-sum(msort(randlist(n, 42)), 0 - 1, 0)
+}
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// queue (Okasaki batched queue)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::queueSource() {
+  return R"(
+type list {
+  Cons(head, tail)
+  Nil
+}
+
+type queue {
+  Queue(front, back)
+}
+
+type dq {
+  Deq(value, rest)
+}
+
+fun rev-onto(xs, acc) {
+  match xs {
+    Cons(x, xx) -> rev-onto(xx, Cons(x, acc))
+    Nil -> acc
+  }
+}
+
+fun enq(q, x) {
+  match q {
+    Queue(f, b) -> Queue(f, Cons(x, b))
+  }
+}
+
+// Dequeue; rotates the back list into the front when needed. The
+// rotation is in-place on a unique queue (rev-onto reuses every cell).
+fun deq(q) {
+  match q {
+    Queue(f, b) -> match f {
+      Cons(h, t) -> Deq(h, Queue(t, b))
+      Nil -> match rev-onto(b, Nil) {
+        Cons(h, t) -> Deq(h, Queue(t, Nil))
+        Nil -> Deq(0 - 1, Queue(Nil, Nil))
+      }
+    }
+  }
+}
+
+// Pump: enqueue two, dequeue one, n times; then drain.
+fun pump(i, n, q, acc) {
+  if i >= n then drain(q, acc)
+  else {
+    val q2 = enq(enq(q, i), i + n)
+    match deq(q2) {
+      Deq(v, q3) -> pump(i + 1, n, q3, acc + v)
+    }
+  }
+}
+
+fun drain(q, acc) {
+  match q {
+    Queue(f, b) -> match f {
+      Cons(h, t) -> drain(Queue(t, b), acc + h)
+      Nil -> match b {
+        Cons(h, t) -> drain(Queue(rev-onto(Cons(h, t), Nil), Nil), acc)
+        Nil -> acc
+      }
+    }
+  }
+}
+
+fun bench_queue(n) {
+  pump(0, n, Queue(Nil, Nil), 0)
+}
+)";
+}

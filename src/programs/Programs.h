@@ -1,0 +1,71 @@
+//===- programs/Programs.h - The paper's benchmark programs -----*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five benchmark programs of the paper's Section 4 (rbtree,
+/// rbtree-ck, deriv, nqueens, cfold), written in the surface language —
+/// rbtree follows Appendix A (Figure 10) verbatim — plus the FBIP
+/// tree-traversal programs of Section 2.6 (Figure 3). Shared by the
+/// tests, the benchmarks, and the examples.
+///
+/// Every program exposes a `bench_*(n)` entry point returning an integer
+/// checksum, so results can be validated against the native C++
+/// implementations in bench/native.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_PROGRAMS_PROGRAMS_H
+#define PERCEUS_PROGRAMS_PROGRAMS_H
+
+namespace perceus {
+
+/// Okasaki red-black tree insertion (Appendix A); entry
+/// `bench_rbtree(n)`: inserts keys 0..n-1 (value: key divisible by 10)
+/// and counts the true values.
+const char *rbtreeSource();
+
+/// rbtree variant retaining every 5th tree (persistent sharing); entry
+/// `bench_rbtree_ck(n)`.
+const char *rbtreeCkSource();
+
+/// Symbolic differentiation with simplification; entry `bench_deriv(n)`:
+/// differentiates x^n three times and counts the nodes.
+const char *derivSource();
+
+/// All n-queens solutions as shared lists; entry `bench_nqueens(n)`:
+/// returns the number of solutions.
+const char *nqueensSource();
+
+/// Constant folding over a large symbolic expression; entry
+/// `bench_cfold(n)`: folds a depth-n expression and evaluates it.
+const char *cfoldSource();
+
+/// Figure 3: FBIP in-order tree traversal with a visitor (tail-recursive,
+/// constant stack) plus the naive recursive `tmap`; entries
+/// `bench_tmap_fbip(n)` and `bench_tmap_naive(n)` map +1 over a perfect
+/// tree of depth n and return its checksum.
+const char *tmapSource();
+
+/// Section 2.2's motivating example: build a large list, map over it,
+/// sum it; entry `bench_mapsum(n)`. Under scoped RC the whole input list
+/// is retained while the output is built; under Perceus it is freed (or
+/// reused) incrementally.
+const char *mapSumSource();
+
+/// Bottom-up FBIP merge sort over a pseudo-random list; entry
+/// `bench_msort(n)` returns the element sum when the output is sorted
+/// (or -1). A unique list sorts almost entirely in place: split, merge
+/// and the recursion all pair matched cells with same-size allocations.
+const char *msortSource();
+
+/// Okasaki's batched FIFO queue (front list + reversed back list);
+/// entry `bench_queue(n)` interleaves n enqueues/dequeues and sums the
+/// dequeued values. The queue rotation is a classic reuse workload.
+const char *queueSource();
+
+} // namespace perceus
+
+#endif // PERCEUS_PROGRAMS_PROGRAMS_H

@@ -1,0 +1,216 @@
+//===- runtime/Heap.cpp - Reference-counted heap ------------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <climits>
+#include <cstring>
+
+using namespace perceus;
+
+namespace {
+constexpr int32_t StickyRc = INT32_MIN;
+constexpr size_t SlabBytes = 256 * 1024;
+} // namespace
+
+Heap::Heap(HeapMode Mode, size_t GcThresholdBytes)
+    : Mode(Mode), GcThreshold(GcThresholdBytes),
+      GcThresholdMin(GcThresholdBytes) {}
+
+Heap::~Heap() = default;
+
+Cell *Heap::allocRaw(uint32_t Arity) {
+  if (Arity < FreeLists.size() && FreeLists[Arity]) {
+    Cell *C = FreeLists[Arity];
+    FreeLists[Arity] = *reinterpret_cast<Cell **>(C);
+    return C;
+  }
+  size_t Bytes = Cell::byteSize(Arity);
+  // Align to 16 (Value alignment).
+  Bytes = (Bytes + 15) & ~size_t(15);
+  if (SlabCur + Bytes > SlabEnd) {
+    size_t Size = Bytes > SlabBytes ? Bytes : SlabBytes;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    SlabCur = Slabs.back().get();
+    SlabEnd = SlabCur + Size;
+  }
+  Cell *C = reinterpret_cast<Cell *>(SlabCur);
+  SlabCur += Bytes;
+  return C;
+}
+
+Cell *Heap::alloc(uint32_t Arity, uint32_t Tag, CellKind Kind) {
+  assert(Arity <= 255 && "constructor arity exceeds cell header capacity");
+  if (Mode == HeapMode::Gc && !InCollect && CollectHook &&
+      Stats.LiveBytes >= GcThreshold) {
+    InCollect = true;
+    CollectHook();
+    InCollect = false;
+  }
+  Cell *C = allocRaw(Arity);
+  C->H.Rc.store(1, std::memory_order_relaxed);
+  C->H.Tag = static_cast<uint8_t>(Tag);
+  C->H.Arity = static_cast<uint8_t>(Arity);
+  C->H.Kind = Kind;
+  C->H.GcMark = 0;
+  ++Stats.Allocs;
+  ++Stats.LiveCells;
+  Stats.LiveBytes += Cell::byteSize(Arity);
+  if (Stats.LiveBytes > Stats.PeakBytes)
+    Stats.PeakBytes = Stats.LiveBytes;
+  if (Mode == HeapMode::Gc)
+    AllCells.push_back(C);
+  return C;
+}
+
+void Heap::release(Cell *C) {
+  ++Stats.Frees;
+  --Stats.LiveCells;
+  Stats.LiveBytes -= Cell::byteSize(C->H.Arity);
+  uint32_t Arity = C->H.Arity;
+#ifndef NDEBUG
+  C->H.Rc.store(0, std::memory_order_relaxed);
+#endif
+  if (Arity >= FreeLists.size())
+    FreeLists.resize(Arity + 1, nullptr);
+  *reinterpret_cast<Cell **>(C) = FreeLists[Arity];
+  FreeLists[Arity] = C;
+}
+
+void Heap::dup(Value V) {
+  if (Mode == HeapMode::Gc)
+    return; // tracing configuration: reference counts are unused
+  if (!V.isHeap()) {
+    ++Stats.NonHeapRcOps;
+    return;
+  }
+  ++Stats.DupOps;
+  Cell *C = V.Ref;
+  int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+  assert(Rc != 0 && "dup of freed cell");
+  if (Rc > 0) {
+    C->H.Rc.store(Rc + 1, std::memory_order_relaxed);
+    return;
+  }
+  // Thread-shared: the count is negative; incrementing the count means
+  // subtracting one, atomically. The sticky value stays untouched.
+  ++Stats.AtomicRcOps;
+  if (Rc == StickyRc)
+    return;
+  C->H.Rc.fetch_sub(1, std::memory_order_relaxed);
+}
+
+/// Decrements the count of \p C; when it reaches zero, frees the cell and
+/// (iteratively) drops its children.
+void Heap::dropRef(Cell *C) {
+  DropStack.push_back(C);
+  while (!DropStack.empty()) {
+    Cell *Cur = DropStack.back();
+    DropStack.pop_back();
+    int32_t Rc = Cur->H.Rc.load(std::memory_order_relaxed);
+    assert(Rc != 0 && "drop of freed cell");
+    if (Rc > 1) {
+      Cur->H.Rc.store(Rc - 1, std::memory_order_relaxed);
+      continue;
+    }
+    if (Rc < 0) {
+      // Thread-shared slow path (single fused `rc <= 1` test, 2.7.2).
+      ++Stats.AtomicRcOps;
+      if (Rc == StickyRc)
+        continue;
+      if (Cur->H.Rc.fetch_add(1, std::memory_order_acq_rel) != -1)
+        continue;
+      // The count reached zero: fall through and free.
+    }
+    // Unique (or last shared reference): free, then drop the children.
+    Value *Fields = Cur->fields();
+    for (uint32_t I = 0; I != Cur->H.Arity; ++I)
+      if (Fields[I].isHeap())
+        DropStack.push_back(Fields[I].Ref);
+    release(Cur);
+  }
+}
+
+void Heap::drop(Value V) {
+  if (Mode == HeapMode::Gc)
+    return; // tracing configuration: reference counts are unused
+  if (!V.isHeap()) {
+    ++Stats.NonHeapRcOps;
+    return;
+  }
+  ++Stats.DropOps;
+  dropRef(V.Ref);
+}
+
+void Heap::decref(Value V) {
+  if (Mode == HeapMode::Gc)
+    return; // tracing configuration: reference counts are unused
+  if (!V.isHeap()) {
+    ++Stats.NonHeapRcOps;
+    return;
+  }
+  ++Stats.DecRefOps;
+  Cell *C = V.Ref;
+  int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+  if (Rc > 0) {
+    assert(Rc > 1 && "decref would free a thread-local cell");
+    C->H.Rc.store(Rc - 1, std::memory_order_relaxed);
+    return;
+  }
+  // Thread-shared: is-unique is always false for shared cells, so a
+  // shared count of 1 can reach a decref; free in that case.
+  ++Stats.AtomicRcOps;
+  if (Rc == StickyRc)
+    return;
+  if (C->H.Rc.fetch_add(1, std::memory_order_acq_rel) == -1) {
+    Value *Fields = C->fields();
+    for (uint32_t I = 0; I != C->H.Arity; ++I)
+      if (Fields[I].isHeap())
+        dropRef(Fields[I].Ref);
+    release(C);
+  }
+}
+
+bool Heap::isUnique(Value V) {
+  ++Stats.IsUniqueTests;
+  if (!V.isHeap())
+    return false;
+  return V.Ref->H.Rc.load(std::memory_order_acquire) == 1;
+}
+
+void Heap::markShared(Value V) {
+  if (!V.isHeap())
+    return;
+  std::vector<Cell *> Work{V.Ref};
+  while (!Work.empty()) {
+    Cell *C = Work.back();
+    Work.pop_back();
+    int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+    if (Rc < 0)
+      continue; // already shared (children are too)
+    assert(Rc > 0 && "tshare of freed cell");
+    C->H.Rc.store(-Rc, std::memory_order_release);
+    Value *Fields = C->fields();
+    for (uint32_t I = 0; I != C->H.Arity; ++I)
+      if (Fields[I].isHeap())
+        Work.push_back(Fields[I].Ref);
+  }
+}
+
+void Heap::freeMemoryOnly(Cell *C) {
+  release(C);
+}
+
+void Heap::dropChildren(Cell *C) {
+  Value *Fields = C->fields();
+  for (uint32_t I = 0; I != C->H.Arity; ++I)
+    drop(Fields[I]);
+}
+
+void Heap::resetGcThreshold() {
+  size_t Next = Stats.LiveBytes * 2;
+  GcThreshold = Next > GcThresholdMin ? Next : GcThresholdMin;
+}

@@ -1,0 +1,150 @@
+//===- runtime/Heap.h - Reference-counted heap ------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime heap. In RC mode it implements the reference-counting
+/// operations of the paper (dup, drop, decref, is-unique, free,
+/// thread-shared marking with atomic negative counts); in GC mode it
+/// registers every allocation so a tracing collector (src/gc) can
+/// mark-and-sweep, and RC operations become no-ops that are never emitted
+/// anyway. Both modes share the allocator: size-class (per-arity) free
+/// lists over bump-allocated slabs, in the spirit of the mimalloc
+/// allocator Koka uses.
+///
+/// The heap tracks precise statistics (allocations, frees, executed RC
+/// operations, atomic operations, live/peak bytes) — these drive the
+/// benchmark tables that reproduce the paper's Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_RUNTIME_HEAP_H
+#define PERCEUS_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace perceus {
+
+/// How the heap reclaims memory.
+enum class HeapMode : uint8_t {
+  Rc, ///< explicit reference counting (dup/drop in the program)
+  Gc, ///< tracing mark-sweep collection (src/gc)
+};
+
+/// Counters the benchmarks and tests read.
+struct HeapStats {
+  uint64_t Allocs = 0;        ///< cells allocated (fresh, not reused)
+  uint64_t Frees = 0;         ///< cells released
+  uint64_t DupOps = 0;        ///< executed dups on heap values
+  uint64_t DropOps = 0;       ///< executed drops on heap values
+  uint64_t DecRefOps = 0;     ///< executed decrefs
+  uint64_t NonHeapRcOps = 0;  ///< rc instructions that were no-ops
+  uint64_t AtomicRcOps = 0;   ///< rc updates that had to be atomic
+  uint64_t IsUniqueTests = 0; ///< executed is-unique tests
+  uint64_t Collections = 0;   ///< tracing GC runs
+  size_t LiveBytes = 0;       ///< currently allocated cell bytes
+  size_t PeakBytes = 0;       ///< high-water mark of LiveBytes
+  uint64_t LiveCells = 0;     ///< currently allocated cells
+};
+
+/// The runtime heap; see the file comment.
+class Heap {
+public:
+  explicit Heap(HeapMode Mode = HeapMode::Rc,
+                size_t GcThresholdBytes = 4u << 20);
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  HeapMode mode() const { return Mode; }
+  HeapStats &stats() { return Stats; }
+  const HeapStats &stats() const { return Stats; }
+
+  /// Allocates a cell with \p Arity fields (fields uninitialized). In GC
+  /// mode this may trigger a collection via the collect hook.
+  Cell *alloc(uint32_t Arity, uint32_t Tag, CellKind Kind);
+
+  /// Increments the reference count of \p V (no-op on immediates).
+  void dup(Value V);
+
+  /// Decrements; frees the cell and recursively drops its children when
+  /// the count reaches zero.
+  void drop(Value V);
+
+  /// Decrements without the uniqueness fast path (the shared branch of a
+  /// specialized drop). Still frees when a thread-shared count reaches 0.
+  void decref(Value V);
+
+  /// The `is-unique` test: true iff the count is exactly 1 and the value
+  /// is not thread-shared.
+  bool isUnique(Value V);
+
+  /// Marks \p V and everything reachable from it thread-shared
+  /// (the paper's `tshare`): counts become negative and all further RC
+  /// operations on them are atomic.
+  void markShared(Value V);
+
+  /// Releases a cell's memory without touching its children (the `free`
+  /// instruction after drop specialization, and token disposal).
+  void freeMemoryOnly(Cell *C);
+
+  /// Drops every field of \p C (the unique path of drop-reuse).
+  void dropChildren(Cell *C);
+
+  //===--- GC support (used by gc::MarkSweep) -------------------------------//
+
+  /// Called when allocation crosses the GC threshold (GC mode only).
+  void setCollectHook(std::function<void()> Hook) {
+    CollectHook = std::move(Hook);
+  }
+
+  /// Every live-or-garbage cell (GC mode only).
+  std::vector<Cell *> &allCells() { return AllCells; }
+
+  /// Releases \p C during sweep (returns it to the free list).
+  void releaseForSweep(Cell *C) { release(C); }
+
+  /// Re-arms the collection threshold after a sweep.
+  void resetGcThreshold();
+
+  /// True when no cells are live — the garbage-free-at-exit check.
+  bool empty() const { return Stats.LiveCells == 0; }
+
+private:
+  Cell *allocRaw(uint32_t Arity);
+  void release(Cell *C);
+  void dropRef(Cell *C);
+
+  HeapMode Mode;
+  HeapStats Stats;
+
+  // Bump-allocated slabs.
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *SlabCur = nullptr;
+  char *SlabEnd = nullptr;
+
+  // Per-arity free lists (the first word of a free cell is the next
+  // pointer).
+  std::vector<Cell *> FreeLists;
+
+  // GC mode bookkeeping.
+  std::vector<Cell *> AllCells;
+  size_t GcThreshold;
+  size_t GcThresholdMin;
+  std::function<void()> CollectHook;
+  bool InCollect = false;
+
+  // Reused worklist for iterative recursive drops.
+  std::vector<Cell *> DropStack;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_RUNTIME_HEAP_H

@@ -1,0 +1,161 @@
+//===- runtime/Value.h - Runtime values and heap cells ----------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime value representation. Integers, booleans, unit, nullary
+/// constructors and top-level function references are unboxed immediates
+/// ("value types are not heap allocated", Section 2.7.1); constructor
+/// applications and closures live in reference-counted heap cells.
+///
+/// The cell header encodes the reference count exactly as Section 2.7.2
+/// describes: positive counts for thread-local objects, negative counts
+/// for thread-shared ones (updated atomically), with a single fused
+/// `rc <= 1` test covering both the free path and the atomic slow path,
+/// and a sticky minimum value that pins an object alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_RUNTIME_VALUE_H
+#define PERCEUS_RUNTIME_VALUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace perceus {
+
+struct Cell;
+
+/// Discriminates runtime values.
+enum class ValueKind : uint8_t {
+  Unit,
+  Int,     ///< unboxed 64-bit integer
+  Bool,    ///< unboxed boolean
+  Enum,    ///< nullary constructor (tag immediate)
+  FnRef,   ///< top-level function (static, never counted)
+  HeapRef, ///< constructor cell or closure cell
+  Token,   ///< reuse token (&cell or NULL), Section 2.4
+  Raw,     ///< untraced pointer (closure code pointer)
+};
+
+/// A runtime value. 16 bytes, trivially copyable.
+struct Value {
+  ValueKind Kind = ValueKind::Unit;
+  union {
+    int64_t Int;      // Int / Bool
+    uint64_t Bits;    // Enum: (dataId << 32) | tag; FnRef: function id
+    Cell *Ref;        // HeapRef
+    Cell *Tok;        // Token (may be null)
+  };
+
+  Value() : Int(0) {}
+
+  static Value unit() { return Value(); }
+  static Value makeInt(int64_t V) {
+    Value R;
+    R.Kind = ValueKind::Int;
+    R.Int = V;
+    return R;
+  }
+  static Value makeBool(bool V) {
+    Value R;
+    R.Kind = ValueKind::Bool;
+    R.Int = V ? 1 : 0;
+    return R;
+  }
+  static Value makeEnum(uint32_t DataId, uint32_t Tag) {
+    Value R;
+    R.Kind = ValueKind::Enum;
+    R.Bits = (uint64_t(DataId) << 32) | Tag;
+    return R;
+  }
+  static Value makeFnRef(uint32_t FuncId) {
+    Value R;
+    R.Kind = ValueKind::FnRef;
+    R.Bits = FuncId;
+    return R;
+  }
+  static Value makeRef(Cell *C) {
+    Value R;
+    R.Kind = ValueKind::HeapRef;
+    R.Ref = C;
+    return R;
+  }
+  static Value makeToken(Cell *C) {
+    Value R;
+    R.Kind = ValueKind::Token;
+    R.Tok = C;
+    return R;
+  }
+  static Value makeRaw(const void *P) {
+    Value R;
+    R.Kind = ValueKind::Raw;
+    R.Bits = reinterpret_cast<uint64_t>(P);
+    return R;
+  }
+
+  const void *rawPtr() const {
+    assert(Kind == ValueKind::Raw);
+    return reinterpret_cast<const void *>(Bits);
+  }
+
+  bool isHeap() const { return Kind == ValueKind::HeapRef; }
+  uint32_t enumTag() const {
+    assert(Kind == ValueKind::Enum);
+    return static_cast<uint32_t>(Bits & 0xffffffffu);
+  }
+  uint32_t fnId() const {
+    assert(Kind == ValueKind::FnRef);
+    return static_cast<uint32_t>(Bits);
+  }
+  bool asBool() const {
+    assert(Kind == ValueKind::Bool);
+    return Int != 0;
+  }
+};
+
+/// What a heap cell holds.
+enum class CellKind : uint8_t {
+  Ctor,    ///< constructor: fields are the constructor arguments
+  Closure, ///< closure: field 0 is the code pointer, rest are captures
+  Ref,     ///< mutable reference cell: field 0 is the content (2.7.3)
+};
+
+/// The reference count occupies the low 32 bits of the header.
+///
+/// Encoding (Section 2.7.2): `1..INT32_MAX` thread-local counts;
+/// `-1..INT32_MIN+1` thread-shared counts (count = -rc), updated
+/// atomically; `INT32_MIN` is the sticky value (kept alive forever);
+/// `0` marks a freed cell (debug).
+struct CellHeader {
+  std::atomic<int32_t> Rc;
+  uint8_t Tag = 0;
+  uint8_t Arity = 0;
+  CellKind Kind = CellKind::Ctor;
+  uint8_t GcMark = 0;
+};
+
+/// A heap cell: header plus inline fields.
+struct Cell {
+  CellHeader H;
+  // Fields follow the header inline; use fields() to access them.
+
+  Value *fields() { return reinterpret_cast<Value *>(this + 1); }
+  const Value *fields() const {
+    return reinterpret_cast<const Value *>(this + 1);
+  }
+
+  /// Total byte size of a cell with \p Arity fields.
+  static size_t byteSize(uint32_t Arity) {
+    return sizeof(Cell) + Arity * sizeof(Value);
+  }
+};
+
+static_assert(sizeof(Value) == 16, "Value should stay two words");
+
+} // namespace perceus
+
+#endif // PERCEUS_RUNTIME_VALUE_H

@@ -1,0 +1,47 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal hand-rolled RTTI in the LLVM style. A class opts in by
+/// providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SUPPORT_CASTING_H
+#define PERCEUS_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace perceus {
+
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on null pointer");
+  return To::classof(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(static_cast<const From *>(V)) &&
+         "cast<> to incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(static_cast<const From *>(V)) ? static_cast<To *>(V)
+                                               : nullptr;
+}
+
+} // namespace perceus
+
+#endif // PERCEUS_SUPPORT_CASTING_H

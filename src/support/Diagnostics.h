@@ -1,0 +1,96 @@
+//===- support/Diagnostics.h - Error reporting ------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink. The library never throws or
+/// prints; errors accumulate in a DiagnosticEngine and callers decide what
+/// to do with them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SUPPORT_DIAGNOSTICS_H
+#define PERCEUS_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perceus {
+
+/// A 1-based line/column source position. Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced by the front end and the passes.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  std::string str() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      if (D.Loc.isValid()) {
+        Out += std::to_string(D.Loc.Line) + ":" + std::to_string(D.Loc.Col) +
+               ": ";
+      }
+      switch (D.Kind) {
+      case DiagKind::Error:
+        Out += "error: ";
+        break;
+      case DiagKind::Warning:
+        Out += "warning: ";
+        break;
+      case DiagKind::Note:
+        Out += "note: ";
+        break;
+      }
+      Out += D.Message;
+      Out += '\n';
+    }
+    return Out;
+  }
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_SUPPORT_DIAGNOSTICS_H

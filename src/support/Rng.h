@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a small, fast, deterministic PRNG used by the property-test
+/// program generator and the benchmark workload generators. Deterministic
+/// across platforms so golden results are stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SUPPORT_RNG_H
+#define PERCEUS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace perceus {
+
+/// SplitMix64 pseudo-random generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_SUPPORT_RNG_H

@@ -1,0 +1,106 @@
+//===- support/Symbol.h - Interned identifiers ------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers. A Symbol is a dense 32-bit id; the SymbolTable
+/// owns the backing strings. Every binder in a resolved program carries a
+/// unique Symbol (alpha-renamed), which lets downstream passes use plain
+/// dense arrays keyed by symbol id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SUPPORT_SYMBOL_H
+#define PERCEUS_SUPPORT_SYMBOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace perceus {
+
+/// A lightweight interned identifier. Value-semantic; compares by id.
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isValid() const { return Id != 0; }
+  explicit operator bool() const { return isValid(); }
+
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+  static Symbol fromId(uint32_t Id) {
+    Symbol S;
+    S.Id = Id;
+    return S;
+  }
+
+private:
+  uint32_t Id = 0; // 0 is the invalid sentinel.
+};
+
+/// Interns strings into Symbols and mints fresh (unique) symbols.
+///
+/// Fresh symbols keep a base name for printing but never collide with any
+/// interned name or other fresh symbol.
+class SymbolTable {
+public:
+  SymbolTable() {
+    // Reserve id 0 as invalid.
+    Names.emplace_back();
+  }
+
+  /// Returns the symbol for \p Name, interning it on first use.
+  Symbol intern(std::string_view Name) {
+    auto It = Map.find(std::string(Name));
+    if (It != Map.end())
+      return It->second;
+    Symbol S = Symbol::fromId(static_cast<uint32_t>(Names.size()));
+    Names.emplace_back(Name);
+    Map.emplace(std::string(Name), S);
+    return S;
+  }
+
+  /// Mints a brand new symbol whose printed name derives from \p Base.
+  /// The result never compares equal to any other symbol.
+  Symbol fresh(std::string_view Base) {
+    Symbol S = Symbol::fromId(static_cast<uint32_t>(Names.size()));
+    Names.emplace_back(std::string(Base) + "." +
+                       std::to_string(FreshCounter++));
+    return S;
+  }
+
+  /// The printed name of \p S.
+  std::string_view name(Symbol S) const {
+    assert(S.id() < Names.size() && "unknown symbol");
+    return Names[S.id()];
+  }
+
+  /// Number of symbols minted so far (ids are < this bound).
+  uint32_t size() const { return static_cast<uint32_t>(Names.size()); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Symbol> Map;
+  uint32_t FreshCounter = 0;
+};
+
+} // namespace perceus
+
+template <> struct std::hash<perceus::Symbol> {
+  size_t operator()(perceus::Symbol S) const noexcept {
+    return std::hash<uint32_t>()(S.id());
+  }
+};
+
+#endif // PERCEUS_SUPPORT_SYMBOL_H

@@ -1,0 +1,259 @@
+//===- tests/analysis/analysis_test.cpp - Analysis unit tests ------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FreeVars.h"
+#include "analysis/LinearCheck.h"
+#include "analysis/VarSet.h"
+#include "analysis/Verifier.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace perceus;
+
+namespace {
+
+TEST(VarSet, BasicSetOperations) {
+  SymbolTable T;
+  Symbol A = T.intern("a"), B = T.intern("b"), C = T.intern("c");
+  VarSet S{A, B};
+  EXPECT_TRUE(S.contains(A));
+  EXPECT_FALSE(S.contains(C));
+  EXPECT_FALSE(S.insert(A)); // already present
+  EXPECT_TRUE(S.insert(C));
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.erase(B));
+  EXPECT_FALSE(S.erase(B));
+
+  VarSet X{A, B}, Y{B, C};
+  EXPECT_EQ(X.intersect(Y), VarSet{B});
+  EXPECT_EQ(X.minus(Y), VarSet{A});
+  EXPECT_EQ(X.unite(Y), (VarSet{A, B, C}));
+  EXPECT_TRUE(VarSet().empty());
+}
+
+TEST(VarSet, IterationIsOrderedById) {
+  SymbolTable T;
+  Symbol A = T.intern("a"), B = T.intern("b"), C = T.intern("c");
+  VarSet S{C, A, B};
+  std::vector<Symbol> Order(S.begin(), S.end());
+  EXPECT_EQ(Order, (std::vector<Symbol>{A, B, C}));
+}
+
+struct AnalysisTest : ::testing::Test {
+  Program P;
+  IRBuilder B{P};
+  FreeVarAnalysis FV;
+  CtorId Pair = InvalidId;
+
+  void SetUp() override {
+    uint32_t D = P.addData(B.sym("pair"));
+    Pair = P.addCtor(D, B.sym("Pair"), 2);
+  }
+};
+
+TEST_F(AnalysisTest, FreeVarsOfLeaves) {
+  EXPECT_TRUE(FV.freeVars(B.litInt(1)).empty());
+  Symbol X = B.sym("x");
+  EXPECT_EQ(FV.freeVars(B.var(X)), VarSet{X});
+}
+
+TEST_F(AnalysisTest, LetBindsItsBody) {
+  Symbol X = B.sym("x"), Y = B.sym("y");
+  const Expr *E = B.let(X, B.var(Y), B.prim(PrimOp::Add, {B.var(X), B.var(X)}));
+  EXPECT_EQ(FV.freeVars(E), VarSet{Y});
+}
+
+TEST_F(AnalysisTest, LambdaRemovesParams) {
+  Symbol X = B.sym("x"), C = B.sym("c");
+  Symbol Params[1] = {X};
+  Symbol Caps[1] = {C};
+  const Expr *L = B.lam(Params, Caps,
+                        B.prim(PrimOp::Add, {B.var(X), B.var(C)}));
+  EXPECT_EQ(FV.freeVars(L), VarSet{C});
+}
+
+TEST_F(AnalysisTest, MatchBindsArmBinders) {
+  Symbol Xs = B.sym("xs"), A = B.sym("a"), Bv = B.sym("b"), Z = B.sym("z");
+  MatchArm Arms[1] = {
+      B.ctorArm(Pair, {A, Bv}, B.prim(PrimOp::Add, {B.var(A), B.var(Z)}))};
+  const Expr *E = B.match(Xs, Arms);
+  EXPECT_EQ(FV.freeVars(E), (VarSet{Xs, Z}));
+}
+
+TEST_F(AnalysisTest, RcOperandsAreFree) {
+  Symbol X = B.sym("x"), Y = B.sym("y"), T = B.sym("t");
+  EXPECT_EQ(FV.freeVars(B.drop(X, B.var(Y))), (VarSet{X, Y}));
+  EXPECT_EQ(FV.freeVars(B.dup(X, B.litInt(0))), VarSet{X});
+  // drop-reuse binds its token in the rest.
+  const Expr *DR = B.dropReuse(X, T, B.con(Pair, {B.var(Y), B.unit()}, T));
+  EXPECT_EQ(FV.freeVars(DR), (VarSet{X, Y}));
+  Symbol Kept[1] = {X};
+  EXPECT_EQ(FV.freeVars(B.tokenValue(T, Pair, Kept)), (VarSet{T, X}));
+}
+
+TEST_F(AnalysisTest, CacheIsConsistent) {
+  Symbol X = B.sym("x");
+  const Expr *E = B.prim(PrimOp::Add, {B.var(X), B.var(X)});
+  const VarSet &S1 = FV.freeVars(E);
+  const VarSet &S2 = FV.freeVars(E);
+  EXPECT_EQ(&S1, &S2); // memoized
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, VerifierAcceptsWellFormed) {
+  Symbol X = B.sym("x");
+  P.addFunction(B.sym("f"), {X}, B.var(X));
+  EXPECT_TRUE(verifyProgram(P).empty());
+}
+
+TEST_F(AnalysisTest, VerifierCatchesOutOfScope) {
+  P.addFunction(B.sym("f"), {}, B.var(B.sym("ghost")));
+  auto E = verifyProgram(P);
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E.front().find("out-of-scope"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, VerifierCatchesDuplicateBinders) {
+  Symbol X = B.sym("x");
+  P.addFunction(B.sym("f"), {X}, B.let(X, B.litInt(1), B.var(X)));
+  auto E = verifyProgram(P);
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E.front().find("bound more than once"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, VerifierCatchesBadCaptureList) {
+  Symbol X = B.sym("x"), C = B.sym("c");
+  Symbol Params[1] = {X};
+  // Claims no captures but uses c freely.
+  const Expr *L =
+      B.lam(Params, {}, B.prim(PrimOp::Add, {B.var(X), B.var(C)}));
+  P.addFunction(B.sym("f"), {C}, L);
+  auto E = verifyProgram(P);
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E.front().find("capture list"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, VerifierCatchesEnumReuseToken) {
+  uint32_t D = P.addData(B.sym("unitish"));
+  CtorId U = P.addCtor(D, B.sym("U"), 0);
+  Symbol X = B.sym("x"), T = B.sym("t");
+  P.addFunction(B.sym("f"), {X}, B.dropReuse(X, T, B.con(U, {}, T)));
+  auto E = verifyProgram(P);
+  ASSERT_FALSE(E.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Linearity checker
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> lintFunction(Program &P, const Expr *Body,
+                                      std::vector<Symbol> Params) {
+  FuncId F = P.addFunction(P.symbols().fresh("lin"), std::move(Params), Body);
+  return checkLinearity(P, F);
+}
+
+TEST_F(AnalysisTest, LinearAcceptsExactConsumption) {
+  Symbol X = B.sym("p1");
+  EXPECT_TRUE(lintFunction(P, B.var(X), {X}).empty());
+}
+
+TEST_F(AnalysisTest, LinearRejectsLeak) {
+  Symbol X = B.sym("p2");
+  auto E = lintFunction(P, B.litInt(0), {X});
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E.front().find("still holding"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, LinearRejectsDoubleUse) {
+  Symbol X = B.sym("p3");
+  auto E =
+      lintFunction(P, B.con(Pair, {B.var(X), B.var(X)}), {X});
+  ASSERT_FALSE(E.empty());
+}
+
+TEST_F(AnalysisTest, LinearAcceptsDupThenTwoUses) {
+  Symbol X = B.sym("p4");
+  const Expr *Body =
+      B.dup(X, B.con(Pair, {B.var(X), B.var(X)}));
+  EXPECT_TRUE(lintFunction(P, Body, {X}).empty());
+}
+
+TEST_F(AnalysisTest, LinearRejectsUseAfterDrop) {
+  Symbol X = B.sym("p5");
+  auto E = lintFunction(P, B.drop(X, B.var(X)), {X});
+  ASSERT_FALSE(E.empty());
+}
+
+TEST_F(AnalysisTest, LinearRequiresBranchAgreement) {
+  Symbol X = B.sym("p6"), C = B.sym("p7");
+  // then consumes x, else leaks it.
+  const Expr *Body = B.iff(B.var(C), B.var(X), B.litInt(0));
+  auto E = lintFunction(P, Body, {C, X});
+  ASSERT_FALSE(E.empty());
+  EXPECT_NE(E.front().find("disagree"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, LinearUnderstandsMatchBorrowsAndDups) {
+  Symbol Xs = B.sym("p8"), A = B.sym("b1"), Bv = B.sym("b2");
+  // dup both binders, drop the scrutinee, consume binders: the Figure 1b
+  // pattern.
+  MatchArm Arms[1] = {B.ctorArm(
+      Pair, {A, Bv},
+      B.dup(A, B.dup(Bv, B.drop(Xs, B.con(Pair, {B.var(A), B.var(Bv)})))))};
+  EXPECT_TRUE(lintFunction(P, B.match(Xs, Arms), {Xs}).empty());
+}
+
+TEST_F(AnalysisTest, LinearRejectsBinderUseWithoutDupAfterDrop) {
+  Symbol Xs = B.sym("p9"), A = B.sym("b3"), Bv = B.sym("b4");
+  // Dropping the scrutinee kills non-dup'ed binders.
+  MatchArm Arms[1] = {B.ctorArm(
+      Pair, {A, Bv}, B.drop(Xs, B.con(Pair, {B.var(A), B.var(Bv)})))};
+  auto E = lintFunction(P, B.match(Xs, Arms), {Xs});
+  ASSERT_FALSE(E.empty());
+}
+
+TEST_F(AnalysisTest, LinearAcceptsTheFusedFastPath) {
+  // Figure 1d: if is-unique(xs) then free xs else dup a; dup b; decref;
+  // binders consumed by the continuation on both paths.
+  Symbol Xs = B.sym("p10"), A = B.sym("b5"), Bv = B.sym("b6");
+  const Expr *Then = B.freeCell(Xs, B.unit());
+  const Expr *Else = B.dup(A, B.dup(Bv, B.decref(Xs, B.unit())));
+  const Expr *ArmBody =
+      B.seq(B.isUnique(Xs, Then, Else),
+            B.con(Pair, {B.var(A), B.var(Bv)}));
+  MatchArm Arms[1] = {B.ctorArm(Pair, {A, Bv}, ArmBody)};
+  EXPECT_TRUE(lintFunction(P, B.match(Xs, Arms), {Xs}).empty());
+}
+
+TEST_F(AnalysisTest, LinearTracksTokensThroughReuse) {
+  // val t = drop-reuse(xs); Pair@t(1, 2)
+  Symbol Xs = B.sym("p11"), T = B.sym("tk1");
+  Symbol A = B.sym("b7"), Bv = B.sym("b8");
+  MatchArm Arms[1] = {B.ctorArm(
+      Pair, {A, Bv},
+      B.dup(A, B.dup(Bv,
+                     B.dropReuse(Xs, T,
+                                 B.con(Pair, {B.var(A), B.var(Bv)}, T)))))};
+  EXPECT_TRUE(lintFunction(P, B.match(Xs, Arms), {Xs}).empty());
+}
+
+TEST_F(AnalysisTest, LinearCatchesCaptureLeak) {
+  // A lambda that captures c but never consumes it in its body.
+  Symbol C = B.sym("p12"), X = B.sym("p13");
+  Symbol Params[1] = {X};
+  Symbol Caps[1] = {C};
+  const Expr *L = B.lam(Params, Caps, B.var(X));
+  // (Note: fv-accuracy is the verifier's job; here the body simply never
+  // consumes the capture, which the linear checker flags.)
+  auto E = lintFunction(P, L, {C});
+  ASSERT_FALSE(E.empty());
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/ir/ir_test.cpp - Core IR unit tests ------------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Rewrite.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace perceus;
+
+namespace {
+
+struct IrTest : ::testing::Test {
+  Program P;
+  IRBuilder B{P};
+
+  CtorId Cons = InvalidId, Nil = InvalidId;
+
+  void SetUp() override {
+    uint32_t D = P.addData(B.sym("list"));
+    Cons = P.addCtor(D, B.sym("Cons"), 2);
+    Nil = P.addCtor(D, B.sym("Nil"), 0);
+  }
+};
+
+TEST_F(IrTest, ProgramRegistriesWork) {
+  EXPECT_EQ(P.numDatas(), 1u);
+  EXPECT_EQ(P.numCtors(), 2u);
+  EXPECT_EQ(P.findCtor(B.sym("Cons")), Cons);
+  EXPECT_EQ(P.findCtor(B.sym("nope")), InvalidId);
+  EXPECT_EQ(P.ctor(Cons).Arity, 2u);
+  EXPECT_TRUE(P.ctor(Nil).isEnumLike());
+  EXPECT_EQ(P.ctor(Cons).Tag, 0u);
+  EXPECT_EQ(P.ctor(Nil).Tag, 1u);
+
+  FuncId F = P.addFunction(B.sym("f"), {B.sym("x")});
+  EXPECT_EQ(P.findFunction(B.sym("f")), F);
+  EXPECT_EQ(P.findFunction(B.sym("g")), InvalidId);
+}
+
+TEST_F(IrTest, CastingDispatch) {
+  const Expr *E = B.litInt(5);
+  EXPECT_TRUE(isa<LitExpr>(E));
+  EXPECT_FALSE(isa<VarExpr>(E));
+  EXPECT_EQ(cast<LitExpr>(E)->value().Int, 5);
+  EXPECT_EQ(dyn_cast<VarExpr>(E), nullptr);
+
+  const Expr *D = B.drop(B.sym("x"), B.unit());
+  EXPECT_TRUE(isa<RcStmtExpr>(D)); // base-class classof
+  EXPECT_TRUE(isa<DropExpr>(D));
+  EXPECT_FALSE(isa<DupExpr>(D));
+}
+
+TEST_F(IrTest, StructuralEquality) {
+  Symbol X = B.sym("x");
+  const Expr *A = B.con(Cons, {B.litInt(1), B.var(X)});
+  const Expr *Same = B.con(Cons, {B.litInt(1), B.var(X)});
+  const Expr *DiffArg = B.con(Cons, {B.litInt(2), B.var(X)});
+  const Expr *DiffCtor = B.con(Nil, {});
+  EXPECT_TRUE(exprEquals(A, Same));
+  EXPECT_FALSE(exprEquals(A, DiffArg));
+  EXPECT_FALSE(exprEquals(A, DiffCtor));
+}
+
+TEST_F(IrTest, EqualityCoversRcForms) {
+  Symbol X = B.sym("x");
+  Symbol T = B.sym("t");
+  const Expr *A =
+      B.dropReuse(X, T, B.con(Cons, {B.litInt(1), B.unit()}, T));
+  const Expr *Same =
+      B.dropReuse(X, T, B.con(Cons, {B.litInt(1), B.unit()}, T));
+  EXPECT_TRUE(exprEquals(A, Same));
+  const Expr *NoToken =
+      B.dropReuse(X, T, B.con(Cons, {B.litInt(1), B.unit()}));
+  EXPECT_FALSE(exprEquals(A, NoToken));
+}
+
+TEST_F(IrTest, PrinterRendersLeaves) {
+  EXPECT_EQ(printExpr(P, B.litInt(42)), "42");
+  EXPECT_EQ(printExpr(P, B.litBool(true)), "True");
+  EXPECT_EQ(printExpr(P, B.litBool(false)), "False");
+  EXPECT_EQ(printExpr(P, B.unit()), "()");
+  EXPECT_EQ(printExpr(P, B.var("xs")), "xs");
+  EXPECT_EQ(printExpr(P, B.nullToken()), "NULL");
+}
+
+TEST_F(IrTest, PrinterRendersCompound) {
+  const Expr *E =
+      B.con(Cons, {B.prim(PrimOp::Add, {B.var("a"), B.litInt(1)}),
+                   B.con(Nil, {})});
+  EXPECT_EQ(printExpr(P, E), "Cons((a + 1), Nil)");
+
+  Symbol Ru = B.sym("ru");
+  const Expr *Reuse = B.con(Cons, {B.var("a"), B.var("b")}, Ru);
+  EXPECT_EQ(printExpr(P, Reuse), "Cons@ru(a, b)");
+}
+
+TEST_F(IrTest, PrinterRendersRcChainsInline) {
+  const Expr *E =
+      B.app(B.dup(B.sym("f"), B.var("f")), {B.var("x")});
+  EXPECT_EQ(printExpr(P, E), "(dup f; f)(x)");
+}
+
+TEST_F(IrTest, PrinterRendersMatch) {
+  Symbol Xs = B.sym("xs");
+  MatchArm Arms[2] = {
+      B.ctorArm(Cons, {B.sym("h"), B.sym("t")}, B.var("h")),
+      B.ctorArm(Nil, {}, B.litInt(0)),
+  };
+  std::string S = printExpr(P, B.match(Xs, Arms));
+  EXPECT_NE(S.find("match xs {"), std::string::npos);
+  EXPECT_NE(S.find("Cons(h, t) -> h"), std::string::npos);
+  EXPECT_NE(S.find("Nil -> 0"), std::string::npos);
+}
+
+TEST_F(IrTest, MapChildrenRewritesAndPreservesIdentity) {
+  const Expr *E = B.con(Cons, {B.litInt(1), B.litInt(2)});
+  // Identity callback returns the same node.
+  const Expr *Same =
+      mapChildren(B, E, [](const Expr *C) { return C; });
+  EXPECT_EQ(Same, E);
+  // A rewriting callback produces a new node.
+  const Expr *Changed = mapChildren(B, E, [&](const Expr *C) -> const Expr * {
+    if (const auto *L = dyn_cast<LitExpr>(C))
+      return B.litInt(L->value().Int * 10);
+    return C;
+  });
+  EXPECT_NE(Changed, E);
+  EXPECT_EQ(printExpr(P, Changed), "Cons(10, 20)");
+}
+
+TEST_F(IrTest, MapChildrenCoversBranchingForms) {
+  Symbol X = B.sym("v");
+  const Expr *E = B.isUnique(X, B.litInt(1), B.litInt(2));
+  const Expr *Out = mapChildren(B, E, [&](const Expr *C) -> const Expr * {
+    return B.litInt(cast<LitExpr>(C)->value().Int + 1);
+  });
+  const auto *U = cast<IsUniqueExpr>(Out);
+  EXPECT_EQ(cast<LitExpr>(U->thenExpr())->value().Int, 2);
+  EXPECT_EQ(cast<LitExpr>(U->elseExpr())->value().Int, 3);
+}
+
+#ifndef NDEBUG
+TEST_F(IrTest, BuilderRejectsArityMismatch) {
+  EXPECT_DEATH((void)B.con(Cons, {B.litInt(1)}), "arity");
+}
+#endif
+
+TEST_F(IrTest, PrintProgramListsDeclarations) {
+  P.addFunction(B.sym("id"), {B.sym("a")}, B.var("a"));
+  std::string S = printProgram(P);
+  EXPECT_NE(S.find("type list { Cons/2; Nil }"), std::string::npos);
+  EXPECT_NE(S.find("fun id(a)"), std::string::npos);
+}
+
+} // namespace

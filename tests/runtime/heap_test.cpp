@@ -1,0 +1,279 @@
+//===- tests/runtime/heap_test.cpp - RC heap unit tests ------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace perceus;
+
+namespace {
+
+Value mkCell(Heap &H, uint32_t Arity, uint32_t Tag = 0) {
+  Cell *C = H.alloc(Arity, Tag, CellKind::Ctor);
+  for (uint32_t I = 0; I != Arity; ++I)
+    C->fields()[I] = Value::unit();
+  return Value::makeRef(C);
+}
+
+TEST(Heap, AllocInitializesHeader) {
+  Heap H;
+  Value V = mkCell(H, 3, 7);
+  EXPECT_EQ(V.Ref->H.Rc.load(), 1);
+  EXPECT_EQ(V.Ref->H.Tag, 7);
+  EXPECT_EQ(V.Ref->H.Arity, 3);
+  EXPECT_EQ(H.stats().Allocs, 1u);
+  EXPECT_EQ(H.stats().LiveCells, 1u);
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, DupDropCounts) {
+  Heap H;
+  Value V = mkCell(H, 1);
+  H.dup(V);
+  H.dup(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), 3);
+  H.drop(V);
+  H.drop(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), 1);
+  EXPECT_EQ(H.stats().Frees, 0u);
+  H.drop(V);
+  EXPECT_EQ(H.stats().Frees, 1u);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, RcOpsOnImmediatesAreNoops) {
+  Heap H;
+  H.dup(Value::makeInt(5));
+  H.drop(Value::makeBool(true));
+  H.decref(Value::makeEnum(0, 1));
+  H.drop(Value::makeFnRef(3));
+  EXPECT_EQ(H.stats().DupOps, 0u);
+  EXPECT_EQ(H.stats().DropOps, 0u);
+  EXPECT_EQ(H.stats().NonHeapRcOps, 4u);
+}
+
+TEST(Heap, DropFreesChildrenRecursively) {
+  Heap H;
+  // A list of 100 cells, each owning the next.
+  Value Tail = Value::unit();
+  for (int I = 0; I != 100; ++I) {
+    Cell *C = H.alloc(2, 0, CellKind::Ctor);
+    C->fields()[0] = Value::makeInt(I);
+    C->fields()[1] = Tail;
+    Tail = Value::makeRef(C);
+  }
+  EXPECT_EQ(H.stats().LiveCells, 100u);
+  H.drop(Tail);
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.stats().Frees, 100u);
+}
+
+TEST(Heap, DropStopsAtSharedChildren) {
+  Heap H;
+  Value Shared = mkCell(H, 0);
+  H.dup(Shared); // now rc 2: one for us, one for the parent below
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Shared;
+  H.drop(Value::makeRef(Parent));
+  EXPECT_EQ(H.stats().LiveCells, 1u); // the shared child survives
+  EXPECT_EQ(Shared.Ref->H.Rc.load(), 1);
+  H.drop(Shared);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, VeryDeepDropDoesNotOverflowTheStack) {
+  Heap H;
+  Value Tail = Value::unit();
+  for (int I = 0; I != 1000000; ++I) {
+    Cell *C = H.alloc(2, 0, CellKind::Ctor);
+    C->fields()[0] = Value::makeInt(I);
+    C->fields()[1] = Tail;
+    Tail = Value::makeRef(C);
+  }
+  H.drop(Tail); // iterative worklist, not native recursion
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, FreeListReusesMemory) {
+  Heap H;
+  Value V = mkCell(H, 2);
+  Cell *Raw = V.Ref;
+  H.drop(V);
+  Value V2 = mkCell(H, 2);
+  EXPECT_EQ(V2.Ref, Raw); // same arity class comes back from the free list
+  H.drop(V2);
+  Value V3 = mkCell(H, 3); // different size class: fresh memory
+  EXPECT_NE(V3.Ref, Raw);
+  H.drop(V3);
+}
+
+TEST(Heap, PeakBytesTracksHighWater) {
+  Heap H;
+  std::vector<Value> Keep;
+  for (int I = 0; I != 10; ++I)
+    Keep.push_back(mkCell(H, 1));
+  size_t Peak = H.stats().PeakBytes;
+  EXPECT_EQ(Peak, 10 * Cell::byteSize(1));
+  for (Value V : Keep)
+    H.drop(V);
+  EXPECT_EQ(H.stats().LiveBytes, 0u);
+  EXPECT_EQ(H.stats().PeakBytes, Peak); // peak is sticky
+}
+
+TEST(Heap, MarkSharedFlipsCountsNegative) {
+  Heap H;
+  Cell *Child = H.alloc(0, 0, CellKind::Ctor);
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Value::makeRef(Child);
+  Value V = Value::makeRef(Parent);
+  H.dup(V);
+  H.markShared(V); // recursive
+  EXPECT_EQ(Parent->H.Rc.load(), -2);
+  EXPECT_EQ(Child->H.Rc.load(), -1);
+  EXPECT_FALSE(H.isUnique(Value::makeRef(Child))); // shared is never unique
+}
+
+TEST(Heap, SharedDupDropAreAtomicAndCounted) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.dup(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -2);
+  H.drop(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0 + 2);
+  H.drop(V); // count reaches zero: freed
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, SharedDropFreesChildren) {
+  Heap H;
+  Value Child = mkCell(H, 0);
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Child;
+  Value V = Value::makeRef(Parent);
+  H.markShared(V);
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, StickyCountIsNeverTouched) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MIN, std::memory_order_relaxed);
+  H.dup(V);
+  H.drop(V);
+  H.drop(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN);
+  EXPECT_EQ(H.stats().LiveCells, 1u); // pinned alive
+  H.freeMemoryOnly(V.Ref);            // test cleanup
+}
+
+TEST(Heap, IsUnique) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  EXPECT_TRUE(H.isUnique(V));
+  H.dup(V);
+  EXPECT_FALSE(H.isUnique(V));
+  H.drop(V);
+  EXPECT_TRUE(H.isUnique(V));
+  EXPECT_FALSE(H.isUnique(Value::makeInt(3)));
+  EXPECT_EQ(H.stats().IsUniqueTests, 4u);
+  H.drop(V);
+}
+
+TEST(Heap, DecRefNeverChecksUniqueness) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  H.dup(V);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), 1);
+  EXPECT_EQ(H.stats().DecRefOps, 1u);
+  H.drop(V);
+}
+
+TEST(Heap, SharedDecRefCanFree) {
+  // A thread-shared cell with count 1 fails is-unique, so the shared
+  // branch of a specialized drop can decref it to zero (Section 2.7.2).
+  Heap H;
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  EXPECT_FALSE(H.isUnique(V));
+  H.decref(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, FreeMemoryOnlyLeavesChildrenAlone) {
+  Heap H;
+  Value Child = mkCell(H, 0);
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Child;
+  H.freeMemoryOnly(Parent); // the `free` instruction
+  EXPECT_EQ(H.stats().LiveCells, 1u);
+  EXPECT_EQ(Child.Ref->H.Rc.load(), 1); // untouched
+  H.drop(Child);
+}
+
+TEST(Heap, DropChildrenIsTheDropReusePath) {
+  Heap H;
+  Value A = mkCell(H, 0);
+  Value B = mkCell(H, 0);
+  Cell *Parent = H.alloc(2, 0, CellKind::Ctor);
+  Parent->fields()[0] = A;
+  Parent->fields()[1] = B;
+  H.dropChildren(Parent);
+  EXPECT_EQ(H.stats().LiveCells, 1u); // only the token cell remains
+  H.freeMemoryOnly(Parent);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, ConcurrentSharedCounting) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  constexpr int Threads = 4, Iters = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != Threads; ++T) {
+    Ts.emplace_back([&H, V] {
+      for (int I = 0; I != Iters; ++I) {
+        H.dup(V);
+        H.drop(V);
+      }
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1); // balanced
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapGc, GcModeIgnoresRcOps) {
+  Heap H(HeapMode::Gc);
+  Value V = mkCell(H, 1);
+  H.dup(V);
+  H.drop(V);
+  H.drop(V);
+  EXPECT_EQ(H.stats().LiveCells, 1u); // nothing freed without a collector
+  EXPECT_EQ(H.allCells().size(), 1u);
+}
+
+TEST(HeapGc, CollectHookFiresAtThreshold) {
+  Heap H(HeapMode::Gc, /*GcThresholdBytes=*/256);
+  int Fired = 0;
+  H.setCollectHook([&] { ++Fired; });
+  for (int I = 0; I != 64; ++I)
+    mkCell(H, 2);
+  EXPECT_GT(Fired, 0);
+}
+
+} // namespace

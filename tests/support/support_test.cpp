@@ -1,0 +1,159 @@
+//===- tests/support/support_test.cpp - Support library unit tests -----------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace perceus;
+
+namespace {
+
+TEST(Arena, AllocatesAlignedMemory) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P8 = A.allocate(8, 8);
+  void *P16 = A.allocate(16, 16);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P16) % 16, 0u);
+}
+
+TEST(Arena, MakeConstructsObjects) {
+  Arena A;
+  struct Pair {
+    int X, Y;
+    Pair(int X, int Y) : X(X), Y(Y) {}
+  };
+  Pair *P = A.make<Pair>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Arena, GrowsAcrossSlabs) {
+  Arena A;
+  // Force several slab growths.
+  for (int I = 0; I != 100; ++I) {
+    char *P = static_cast<char *>(A.allocate(1000, 8));
+    std::memset(P, I, 1000); // must be writable
+  }
+  EXPECT_GE(A.numSlabs(), 2u);
+  EXPECT_GE(A.bytesAllocated(), 100000u);
+}
+
+TEST(Arena, LargeAllocationGetsOwnSlab) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 16);
+  EXPECT_NE(P, nullptr);
+  std::memset(P, 0xab, 1 << 20);
+}
+
+TEST(Arena, CopyArray) {
+  Arena A;
+  int Src[4] = {1, 2, 3, 4};
+  int *Dst = A.copyArray(Src, 4);
+  EXPECT_EQ(0, std::memcmp(Src, Dst, sizeof(Src)));
+  EXPECT_EQ(A.copyArray<int>(nullptr, 0), nullptr);
+}
+
+TEST(Symbol, InterningIsIdempotent) {
+  SymbolTable T;
+  Symbol A = T.intern("foo");
+  Symbol B = T.intern("foo");
+  Symbol C = T.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(T.name(A), "foo");
+  EXPECT_EQ(T.name(C), "bar");
+}
+
+TEST(Symbol, DefaultIsInvalid) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+  SymbolTable T;
+  EXPECT_TRUE(T.intern("x").isValid());
+}
+
+TEST(Symbol, FreshNeverCollides) {
+  SymbolTable T;
+  Symbol A = T.intern("x");
+  Symbol F1 = T.fresh("x");
+  Symbol F2 = T.fresh("x");
+  EXPECT_NE(F1, A);
+  EXPECT_NE(F1, F2);
+  // Fresh names still print recognizably.
+  EXPECT_EQ(T.name(F1).substr(0, 2), "x.");
+  // And fresh names never equal a later interned name.
+  EXPECT_NE(T.intern(std::string(T.name(F1))), F1);
+}
+
+TEST(Symbol, OrderingFollowsCreation) {
+  SymbolTable T;
+  Symbol A = T.intern("a");
+  Symbol B = T.intern("b");
+  EXPECT_LT(A, B);
+}
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine D;
+  D.warning({1, 1}, "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 3}, "e");
+  D.note({}, "n");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RendersLocations) {
+  DiagnosticEngine D;
+  D.error({12, 5}, "boom");
+  EXPECT_EQ(D.str(), "12:5: error: boom\n");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.str().empty());
+}
+
+TEST(Rng, IsDeterministic) {
+  Rng A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u); // all five values hit
+}
+
+TEST(Rng, ChanceIsCalibrated) {
+  Rng R(11);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+}
+
+} // namespace
