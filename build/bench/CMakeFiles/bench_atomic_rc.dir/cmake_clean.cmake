@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atomic_rc.dir/bench_atomic_rc.cpp.o"
+  "CMakeFiles/bench_atomic_rc.dir/bench_atomic_rc.cpp.o.d"
+  "bench_atomic_rc"
+  "bench_atomic_rc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atomic_rc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_borrow.dir/bench_borrow.cpp.o"
+  "CMakeFiles/bench_borrow.dir/bench_borrow.cpp.o.d"
+  "bench_borrow"
+  "bench_borrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_borrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fbip.dir/bench_fbip.cpp.o"
+  "CMakeFiles/bench_fbip.dir/bench_fbip.cpp.o.d"
+  "bench_fbip"
+  "bench_fbip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fbip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

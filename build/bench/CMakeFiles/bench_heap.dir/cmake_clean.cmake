@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heap.dir/bench_heap.cpp.o"
+  "CMakeFiles/bench_heap.dir/bench_heap.cpp.o.d"
+  "bench_heap"
+  "bench_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rcops.dir/bench_rcops.cpp.o"
+  "CMakeFiles/bench_rcops.dir/bench_rcops.cpp.o.d"
+  "bench_rcops"
+  "bench_rcops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rcops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

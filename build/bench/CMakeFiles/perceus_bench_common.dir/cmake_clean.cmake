@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_bench_common.dir/Common.cpp.o"
+  "CMakeFiles/perceus_bench_common.dir/Common.cpp.o.d"
+  "libperceus_bench_common.a"
+  "libperceus_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

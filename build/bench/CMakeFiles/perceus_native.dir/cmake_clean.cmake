@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_native.dir/native/Native.cpp.o"
+  "CMakeFiles/perceus_native.dir/native/Native.cpp.o.d"
+  "libperceus_native.a"
+  "libperceus_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perceus_native.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbip_traversal.dir/fbip_traversal.cpp.o"
+  "CMakeFiles/fbip_traversal.dir/fbip_traversal.cpp.o.d"
+  "fbip_traversal"
+  "fbip_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbip_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

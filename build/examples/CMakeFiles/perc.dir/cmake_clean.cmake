@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perc.dir/perc.cpp.o"
+  "CMakeFiles/perc.dir/perc.cpp.o.d"
+  "perc"
+  "perc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

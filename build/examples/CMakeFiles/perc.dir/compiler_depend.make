@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for perc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/persistent_rbtree.cpp" "examples/CMakeFiles/persistent_rbtree.dir/persistent_rbtree.cpp.o" "gcc" "examples/CMakeFiles/persistent_rbtree.dir/persistent_rbtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/perceus_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/perceus/CMakeFiles/perceus_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/perceus_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/perceus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/perceus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/perceus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/perceus_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/perceus_programs.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/perceus_native.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_rbtree.dir/persistent_rbtree.cpp.o"
+  "CMakeFiles/persistent_rbtree.dir/persistent_rbtree.cpp.o.d"
+  "persistent_rbtree"
+  "persistent_rbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_rbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

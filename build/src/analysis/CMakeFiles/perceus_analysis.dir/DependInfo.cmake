@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/FreeVars.cpp" "src/analysis/CMakeFiles/perceus_analysis.dir/FreeVars.cpp.o" "gcc" "src/analysis/CMakeFiles/perceus_analysis.dir/FreeVars.cpp.o.d"
+  "/root/repo/src/analysis/LinearCheck.cpp" "src/analysis/CMakeFiles/perceus_analysis.dir/LinearCheck.cpp.o" "gcc" "src/analysis/CMakeFiles/perceus_analysis.dir/LinearCheck.cpp.o.d"
+  "/root/repo/src/analysis/Verifier.cpp" "src/analysis/CMakeFiles/perceus_analysis.dir/Verifier.cpp.o" "gcc" "src/analysis/CMakeFiles/perceus_analysis.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/perceus_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_analysis.dir/FreeVars.cpp.o"
+  "CMakeFiles/perceus_analysis.dir/FreeVars.cpp.o.d"
+  "CMakeFiles/perceus_analysis.dir/LinearCheck.cpp.o"
+  "CMakeFiles/perceus_analysis.dir/LinearCheck.cpp.o.d"
+  "CMakeFiles/perceus_analysis.dir/Verifier.cpp.o"
+  "CMakeFiles/perceus_analysis.dir/Verifier.cpp.o.d"
+  "libperceus_analysis.a"
+  "libperceus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calculus/Generator.cpp" "src/calculus/CMakeFiles/perceus_calculus.dir/Generator.cpp.o" "gcc" "src/calculus/CMakeFiles/perceus_calculus.dir/Generator.cpp.o.d"
+  "/root/repo/src/calculus/SubstEval.cpp" "src/calculus/CMakeFiles/perceus_calculus.dir/SubstEval.cpp.o" "gcc" "src/calculus/CMakeFiles/perceus_calculus.dir/SubstEval.cpp.o.d"
+  "/root/repo/src/calculus/TermMachine.cpp" "src/calculus/CMakeFiles/perceus_calculus.dir/TermMachine.cpp.o" "gcc" "src/calculus/CMakeFiles/perceus_calculus.dir/TermMachine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/perceus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/perceus_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_calculus.dir/Generator.cpp.o"
+  "CMakeFiles/perceus_calculus.dir/Generator.cpp.o.d"
+  "CMakeFiles/perceus_calculus.dir/SubstEval.cpp.o"
+  "CMakeFiles/perceus_calculus.dir/SubstEval.cpp.o.d"
+  "CMakeFiles/perceus_calculus.dir/TermMachine.cpp.o"
+  "CMakeFiles/perceus_calculus.dir/TermMachine.cpp.o.d"
+  "libperceus_calculus.a"
+  "libperceus_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperceus_calculus.a"
+)

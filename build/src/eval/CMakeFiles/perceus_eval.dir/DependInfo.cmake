@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/Layout.cpp" "src/eval/CMakeFiles/perceus_eval.dir/Layout.cpp.o" "gcc" "src/eval/CMakeFiles/perceus_eval.dir/Layout.cpp.o.d"
+  "/root/repo/src/eval/Machine.cpp" "src/eval/CMakeFiles/perceus_eval.dir/Machine.cpp.o" "gcc" "src/eval/CMakeFiles/perceus_eval.dir/Machine.cpp.o.d"
+  "/root/repo/src/eval/Runner.cpp" "src/eval/CMakeFiles/perceus_eval.dir/Runner.cpp.o" "gcc" "src/eval/CMakeFiles/perceus_eval.dir/Runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/perceus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/perceus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/perceus_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/perceus/CMakeFiles/perceus_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/perceus_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/perceus_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_eval.dir/Layout.cpp.o"
+  "CMakeFiles/perceus_eval.dir/Layout.cpp.o.d"
+  "CMakeFiles/perceus_eval.dir/Machine.cpp.o"
+  "CMakeFiles/perceus_eval.dir/Machine.cpp.o.d"
+  "CMakeFiles/perceus_eval.dir/Runner.cpp.o"
+  "CMakeFiles/perceus_eval.dir/Runner.cpp.o.d"
+  "libperceus_eval.a"
+  "libperceus_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

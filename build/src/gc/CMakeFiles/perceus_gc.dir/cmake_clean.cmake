@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_gc.dir/MarkSweep.cpp.o"
+  "CMakeFiles/perceus_gc.dir/MarkSweep.cpp.o.d"
+  "libperceus_gc.a"
+  "libperceus_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

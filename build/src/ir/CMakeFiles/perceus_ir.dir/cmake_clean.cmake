@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_ir.dir/Printer.cpp.o"
+  "CMakeFiles/perceus_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/perceus_ir.dir/Rewrite.cpp.o"
+  "CMakeFiles/perceus_ir.dir/Rewrite.cpp.o.d"
+  "libperceus_ir.a"
+  "libperceus_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

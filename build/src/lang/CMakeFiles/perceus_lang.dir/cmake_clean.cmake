@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/perceus_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/perceus_lang.dir/Parser.cpp.o"
+  "CMakeFiles/perceus_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/perceus_lang.dir/Resolver.cpp.o"
+  "CMakeFiles/perceus_lang.dir/Resolver.cpp.o.d"
+  "libperceus_lang.a"
+  "libperceus_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perceus/Borrow.cpp" "src/perceus/CMakeFiles/perceus_passes.dir/Borrow.cpp.o" "gcc" "src/perceus/CMakeFiles/perceus_passes.dir/Borrow.cpp.o.d"
+  "/root/repo/src/perceus/DropSpec.cpp" "src/perceus/CMakeFiles/perceus_passes.dir/DropSpec.cpp.o" "gcc" "src/perceus/CMakeFiles/perceus_passes.dir/DropSpec.cpp.o.d"
+  "/root/repo/src/perceus/Fusion.cpp" "src/perceus/CMakeFiles/perceus_passes.dir/Fusion.cpp.o" "gcc" "src/perceus/CMakeFiles/perceus_passes.dir/Fusion.cpp.o.d"
+  "/root/repo/src/perceus/Perceus.cpp" "src/perceus/CMakeFiles/perceus_passes.dir/Perceus.cpp.o" "gcc" "src/perceus/CMakeFiles/perceus_passes.dir/Perceus.cpp.o.d"
+  "/root/repo/src/perceus/Pipeline.cpp" "src/perceus/CMakeFiles/perceus_passes.dir/Pipeline.cpp.o" "gcc" "src/perceus/CMakeFiles/perceus_passes.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/perceus/Reuse.cpp" "src/perceus/CMakeFiles/perceus_passes.dir/Reuse.cpp.o" "gcc" "src/perceus/CMakeFiles/perceus_passes.dir/Reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/perceus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/perceus_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

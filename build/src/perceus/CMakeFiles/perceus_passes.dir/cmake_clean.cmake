@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_passes.dir/Borrow.cpp.o"
+  "CMakeFiles/perceus_passes.dir/Borrow.cpp.o.d"
+  "CMakeFiles/perceus_passes.dir/DropSpec.cpp.o"
+  "CMakeFiles/perceus_passes.dir/DropSpec.cpp.o.d"
+  "CMakeFiles/perceus_passes.dir/Fusion.cpp.o"
+  "CMakeFiles/perceus_passes.dir/Fusion.cpp.o.d"
+  "CMakeFiles/perceus_passes.dir/Perceus.cpp.o"
+  "CMakeFiles/perceus_passes.dir/Perceus.cpp.o.d"
+  "CMakeFiles/perceus_passes.dir/Pipeline.cpp.o"
+  "CMakeFiles/perceus_passes.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/perceus_passes.dir/Reuse.cpp.o"
+  "CMakeFiles/perceus_passes.dir/Reuse.cpp.o.d"
+  "libperceus_passes.a"
+  "libperceus_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

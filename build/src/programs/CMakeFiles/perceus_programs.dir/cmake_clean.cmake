@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_programs.dir/Programs.cpp.o"
+  "CMakeFiles/perceus_programs.dir/Programs.cpp.o.d"
+  "libperceus_programs.a"
+  "libperceus_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

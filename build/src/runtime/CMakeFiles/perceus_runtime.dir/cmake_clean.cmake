@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/perceus_runtime.dir/Heap.cpp.o.d"
+  "libperceus_runtime.a"
+  "libperceus_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

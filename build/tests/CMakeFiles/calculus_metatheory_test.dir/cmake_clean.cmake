@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculus_metatheory_test.dir/calculus/metatheory_test.cpp.o"
+  "CMakeFiles/calculus_metatheory_test.dir/calculus/metatheory_test.cpp.o.d"
+  "calculus_metatheory_test"
+  "calculus_metatheory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculus_metatheory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculus_termmachine_test.dir/calculus/termmachine_test.cpp.o"
+  "CMakeFiles/calculus_termmachine_test.dir/calculus/termmachine_test.cpp.o.d"
+  "calculus_termmachine_test"
+  "calculus_termmachine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculus_termmachine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

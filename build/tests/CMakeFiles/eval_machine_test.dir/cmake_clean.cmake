@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_machine_test.dir/eval/machine_test.cpp.o"
+  "CMakeFiles/eval_machine_test.dir/eval/machine_test.cpp.o.d"
+  "eval_machine_test"
+  "eval_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

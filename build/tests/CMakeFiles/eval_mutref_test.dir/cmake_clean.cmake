@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_mutref_test.dir/eval/mutref_test.cpp.o"
+  "CMakeFiles/eval_mutref_test.dir/eval/mutref_test.cpp.o.d"
+  "eval_mutref_test"
+  "eval_mutref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_mutref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_random_machine_test.dir/eval/random_machine_test.cpp.o"
+  "CMakeFiles/eval_random_machine_test.dir/eval/random_machine_test.cpp.o.d"
+  "eval_random_machine_test"
+  "eval_random_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_random_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

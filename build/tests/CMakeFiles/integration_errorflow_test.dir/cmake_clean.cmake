@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_errorflow_test.dir/integration/errorflow_test.cpp.o"
+  "CMakeFiles/integration_errorflow_test.dir/integration/errorflow_test.cpp.o.d"
+  "integration_errorflow_test"
+  "integration_errorflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_errorflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

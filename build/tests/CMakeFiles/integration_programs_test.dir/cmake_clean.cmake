@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_programs_test.dir/integration/programs_test.cpp.o"
+  "CMakeFiles/integration_programs_test.dir/integration/programs_test.cpp.o.d"
+  "integration_programs_test"
+  "integration_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

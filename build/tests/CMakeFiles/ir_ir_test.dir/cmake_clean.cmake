@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_ir_test.dir/ir/ir_test.cpp.o"
+  "CMakeFiles/ir_ir_test.dir/ir/ir_test.cpp.o.d"
+  "ir_ir_test"
+  "ir_ir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lang/fuzz_test.cpp" "tests/CMakeFiles/lang_fuzz_test.dir/lang/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/lang_fuzz_test.dir/lang/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/perceus_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/perceus/CMakeFiles/perceus_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/perceus_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/perceus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/perceus_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/perceus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/perceus_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/perceus_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/perceus_programs.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/perceus_native.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/perceus_bench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

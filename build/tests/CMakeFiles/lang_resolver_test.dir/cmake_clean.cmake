@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_resolver_test.dir/lang/resolver_test.cpp.o"
+  "CMakeFiles/lang_resolver_test.dir/lang/resolver_test.cpp.o.d"
+  "lang_resolver_test"
+  "lang_resolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

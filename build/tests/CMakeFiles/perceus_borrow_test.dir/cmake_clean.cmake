@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_borrow_test.dir/perceus/borrow_test.cpp.o"
+  "CMakeFiles/perceus_borrow_test.dir/perceus/borrow_test.cpp.o.d"
+  "perceus_borrow_test"
+  "perceus_borrow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_borrow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_fig1_golden_test.dir/perceus/fig1_golden_test.cpp.o"
+  "CMakeFiles/perceus_fig1_golden_test.dir/perceus/fig1_golden_test.cpp.o.d"
+  "perceus_fig1_golden_test"
+  "perceus_fig1_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_fig1_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceus_passes_test.dir/perceus/passes_test.cpp.o"
+  "CMakeFiles/perceus_passes_test.dir/perceus/passes_test.cpp.o.d"
+  "perceus_passes_test"
+  "perceus_passes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceus_passes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
