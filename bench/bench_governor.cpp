@@ -1,0 +1,97 @@
+//===- bench/bench_governor.cpp - Resource governor overhead ------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the happy-path cost of the resource governor: the same
+/// allocate/drop loops and end-to-end machine runs with the governor
+/// disarmed (no limits, the default) versus armed with limits far too
+/// large to ever fire. The acceptance bar is that the armed column is
+/// within noise of the disarmed one — the governor is a single
+/// predicted-false branch on the allocation path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "eval/Runner.h"
+#include "programs/Programs.h"
+#include "runtime/Heap.h"
+#include "support/FaultInjector.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace perceus;
+
+namespace {
+
+HeapLimits hugeLimits() {
+  HeapLimits L;
+  L.MaxLiveBytes = size_t(1) << 40;
+  L.MaxLiveCells = uint64_t(1) << 40;
+  L.AllocBudget = uint64_t(1) << 60;
+  return L;
+}
+
+void allocDropLoop(benchmark::State &State, Heap &H) {
+  for (auto _ : State) {
+    Cell *C = H.alloc(2, 0, CellKind::Ctor);
+    C->fields()[0] = Value::makeInt(1);
+    C->fields()[1] = Value::unit();
+    H.drop(Value::makeRef(C));
+  }
+}
+
+void BM_AllocFree_Disarmed(benchmark::State &State) {
+  Heap H;
+  allocDropLoop(State, H);
+}
+BENCHMARK(BM_AllocFree_Disarmed);
+
+void BM_AllocFree_ArmedLimits(benchmark::State &State) {
+  Heap H;
+  H.setLimits(hugeLimits());
+  allocDropLoop(State, H);
+}
+BENCHMARK(BM_AllocFree_ArmedLimits);
+
+void BM_AllocFree_ArmedInjector(benchmark::State &State) {
+  // A fault injector that never fires (fail attempt 2^62).
+  Heap H;
+  FaultInjector FI = FaultInjector::failNth(uint64_t(1) << 62);
+  H.setFaultInjector(&FI);
+  allocDropLoop(State, H);
+  H.setFaultInjector(nullptr);
+}
+BENCHMARK(BM_AllocFree_ArmedInjector);
+
+void machineRun(benchmark::State &State, bool Armed) {
+  Runner R(mapSumSource(), PassConfig::perceusFull());
+  if (Armed) {
+    RunLimits L;
+    L.Heap = hugeLimits();
+    L.Fuel = uint64_t(1) << 60;
+    L.MaxCallDepth = uint64_t(1) << 40;
+    R.setLimits(L);
+  }
+  const int64_t N = State.range(0);
+  for (auto _ : State) {
+    RunResult Res = R.callInt("bench_mapsum", {N});
+    benchmark::DoNotOptimize(Res.Result.Int);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+void BM_MachineMapSum_Disarmed(benchmark::State &State) {
+  machineRun(State, false);
+}
+BENCHMARK(BM_MachineMapSum_Disarmed)->Arg(10000);
+
+void BM_MachineMapSum_Armed(benchmark::State &State) {
+  machineRun(State, true);
+}
+BENCHMARK(BM_MachineMapSum_Armed)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

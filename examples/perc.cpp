@@ -15,6 +15,12 @@
 ///   --stats           print heap/machine statistics after the run
 ///   --dump=FN         print FN after the pipeline instead of running
 ///   --stages=FN       print FN at every Figure 1 pipeline stage
+///   --fuel=N          trap after N machine steps (out-of-fuel)
+///   --max-depth=N     trap at N live non-tail calls (stack-overflow)
+///   --max-heap=N      trap when live heap would exceed N bytes
+///   --max-cells=N     trap when live heap would exceed N cells
+///   --alloc-budget=N  trap after N allocations (heap lifetime)
+///   --fail-alloc=N    fault injection: fail the Nth allocation
 ///   ARGS              integer arguments for the entry function
 ///
 //===----------------------------------------------------------------------===//
@@ -23,6 +29,7 @@
 #include "ir/Printer.h"
 #include "lang/Resolver.h"
 #include "perceus/Pipeline.h"
+#include "support/FaultInjector.h"
 
 #include <cstdio>
 #include <cstring>
@@ -38,7 +45,25 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: perc FILE.perc [--config=NAME] [--entry=NAME] "
-               "[--stats] [--dump=FN] [--stages=FN] [ARGS...]\n");
+               "[--stats] [--dump=FN] [--stages=FN]\n"
+               "            [--fuel=N] [--max-depth=N] [--max-heap=N] "
+               "[--max-cells=N] [--alloc-budget=N]\n"
+               "            [--fail-alloc=N] [ARGS...]\n");
+}
+
+bool parseCount(const char *A, const char *Flag, uint64_t &Out) {
+  size_t Len = std::strlen(Flag);
+  if (std::strncmp(A, Flag, Len) != 0)
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(A + Len, &End, 10);
+  if (End == A + Len || *End != '\0') {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Flag,
+                 A + Len);
+    std::exit(1);
+  }
+  Out = V;
+  return true;
 }
 
 } // namespace
@@ -47,6 +72,8 @@ int main(int Argc, char **Argv) {
   std::string File, Entry = "main", Dump, Stages;
   PassConfig Config = PassConfig::perceusFull();
   bool Stats = false;
+  RunLimits Limits;
+  uint64_t MaxHeapBytes = 0, FailAlloc = 0;
   std::vector<int64_t> Args;
 
   for (int I = 1; I < Argc; ++I) {
@@ -75,6 +102,13 @@ int main(int Argc, char **Argv) {
       Stages = A + 9;
     } else if (!std::strcmp(A, "--stats")) {
       Stats = true;
+    } else if (parseCount(A, "--fuel=", Limits.Fuel) ||
+               parseCount(A, "--max-depth=", Limits.MaxCallDepth) ||
+               parseCount(A, "--max-heap=", MaxHeapBytes) ||
+               parseCount(A, "--max-cells=", Limits.Heap.MaxLiveCells) ||
+               parseCount(A, "--alloc-budget=", Limits.Heap.AllocBudget) ||
+               parseCount(A, "--fail-alloc=", FailAlloc)) {
+      Limits.Heap.MaxLiveBytes = MaxHeapBytes;
     } else if (A[0] == '-' && !std::isdigit((unsigned char)A[1])) {
       usage();
       return 1;
@@ -131,9 +165,23 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  R.setLimits(Limits);
+  FaultInjector FI = FaultInjector::failNth(FailAlloc);
+  if (FailAlloc)
+    R.setFaultInjector(&FI);
+
   RunResult Res = R.callInt(Entry, Args);
   if (!Res.Ok) {
-    std::fprintf(stderr, "runtime error: %s\n", Res.Error.c_str());
+    std::fprintf(stderr, "runtime error (%s): %s\n", trapKindName(Res.Trap),
+                 Res.Error.c_str());
+    if (Stats) {
+      const HeapStats &S = R.heap().stats();
+      std::fprintf(stderr,
+                   "[%s] trap=%s unwound-cells=%llu leaked-cells=%llu\n",
+                   R.config().name(), trapKindName(Res.Trap),
+                   (unsigned long long)Res.UnwoundCells,
+                   (unsigned long long)S.LiveCells);
+    }
     return 1;
   }
   std::fputs(Res.Output.c_str(), stdout);

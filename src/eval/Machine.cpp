@@ -13,16 +13,62 @@ using namespace perceus;
 Machine::Machine(const Program &P, const ProgramLayout &Layout, Heap &H)
     : P(P), Layout(Layout), H(H) {}
 
-void Machine::trap(std::string Msg) {
+const char *perceus::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::Ok:
+    return "ok";
+  case TrapKind::OutOfMemory:
+    return "out-of-memory";
+  case TrapKind::OutOfFuel:
+    return "out-of-fuel";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  case TrapKind::RuntimeError:
+    return "runtime-error";
+  }
+  return "unknown";
+}
+
+void Machine::trap(std::string Msg, TrapKind Kind) {
   Trapped = true;
   Run->Ok = false;
+  Run->Trap = Kind;
   Run->Error = std::move(Msg);
+}
+
+/// The clean-unwind path: a trap abandons the run, so every value still
+/// held by a live frame, the operand stack, or the result register is
+/// garbage. Reclaim all of it so the garbage-free guarantee holds on the
+/// error path too (the fault sweep asserts Heap::empty() after every
+/// injected failure). Slots may be stale — ownership already moved, or
+/// the cell already freed — which Heap::reclaim tolerates by design.
+void Machine::unwind() {
+  size_t Freed;
+  if (H.mode() == HeapMode::Gc) {
+    // Tracing mode: no roots survive the trap, everything is garbage.
+    Freed = H.reclaimAll();
+  } else {
+    std::vector<Value> Roots;
+    Roots.reserve(Locals.size() + Operands.size() + 1);
+    Roots.insert(Roots.end(), Locals.begin(), Locals.end());
+    Roots.insert(Roots.end(), Operands.begin(), Operands.end());
+    Roots.push_back(Result);
+    Freed = H.reclaim(Roots);
+  }
+  Locals.clear();
+  Operands.clear();
+  Konts.clear();
+  CurBase = 0;
+  Code = nullptr;
+  Result = Value::unit();
+  Run->UnwoundCells = Freed;
 }
 
 RunResult Machine::run(FuncId F, std::vector<Value> Args) {
   RunResult R;
   Run = &R;
   Trapped = false;
+  CallDepth = 0;
   Locals.clear();
   Operands.clear();
   Konts.clear();
@@ -31,6 +77,10 @@ RunResult Machine::run(FuncId F, std::vector<Value> Args) {
   const FunctionDecl &Fn = P.function(F);
   if (Args.size() != Fn.Params.size()) {
     trap("entry function arity mismatch");
+    // Ownership of the arguments transferred to us; unwind them.
+    for (Value V : Args)
+      Operands.push_back(V);
+    unwind();
     Run = nullptr;
     return R;
   }
@@ -54,6 +104,8 @@ RunResult Machine::run(FuncId F, std::vector<Value> Args) {
     // results so a garbage-free run ends with an empty heap.
     if (Result.isHeap())
       H.drop(Result);
+  } else {
+    unwind();
   }
   Run = nullptr;
   return R;
@@ -64,7 +116,7 @@ bool Machine::step() {
   if (Code) {
     ++Run->Steps;
     if (StepLimit && Run->Steps > StepLimit) {
-      trap("step limit exceeded");
+      trap("step limit exceeded (out of fuel)", TrapKind::OutOfFuel);
       return false;
     }
     if (Locals.size() > Run->MaxStackDepth)
@@ -101,6 +153,10 @@ bool Machine::step() {
       const std::vector<uint32_t> &List = Layout.SlotLists[E->layoutA()];
       Cell *C = H.alloc(static_cast<uint32_t>(NCaps + 1), 0,
                         CellKind::Closure);
+      if (!C) {
+        trap("out of memory allocating a closure", TrapKind::OutOfMemory);
+        return false;
+      }
       Value *Fields = C->fields();
       Fields[0] = Value::makeRaw(L);
       for (size_t I = 0; I != NCaps; ++I)
@@ -380,6 +436,7 @@ bool Machine::step() {
     Konts.pop_back();
     Locals.resize(K.FrameStart);
     CurBase = K.Base;
+    --CallDepth;
     return true;
   case Kont::K::Let: {
     Konts.pop_back();
@@ -511,6 +568,12 @@ void Machine::doCall(size_t OperandBase, SourceLoc Loc) {
     NewBase = Konts.back().FrameStart;
     // Keep the frame's Ret continuation; replace the frame itself.
   } else {
+    if (CallDepthLimit && CallDepth >= CallDepthLimit) {
+      trap("call depth limit exceeded (stack overflow)",
+           TrapKind::StackOverflow);
+      return;
+    }
+    ++CallDepth;
     Kont K;
     K.Kind = Kont::K::Ret;
     K.Base = CurBase;
@@ -570,8 +633,14 @@ void Machine::finishCon(const ConExpr *C, size_t OperandBase) {
       ++Run->ReuseMisses;
     }
   }
-  if (!Cl)
+  if (!Cl) {
     Cl = H.alloc(D.Arity, D.Tag, CellKind::Ctor);
+    if (!Cl) {
+      // The field values stay on the operand stack for the unwind.
+      trap("out of memory allocating a constructor", TrapKind::OutOfMemory);
+      return;
+    }
+  }
   Value *Fields = Cl->fields();
   for (uint32_t I = 0; I != D.Arity; ++I)
     Fields[I] = Operands[OperandBase + I];
@@ -725,6 +794,10 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
   case PrimOp::RefNew: {
     // Ownership of the content moves into the cell.
     Cell *C = H.alloc(1, 0, CellKind::Ref);
+    if (!C) {
+      trap("out of memory allocating a reference", TrapKind::OutOfMemory);
+      return;
+    }
     C->fields()[0] = arg(0);
     Out = Value::makeRef(C);
     break;

@@ -36,9 +36,25 @@
 
 namespace perceus {
 
+/// Why a run stopped. `Ok` is the only kind with a result value; all
+/// others are traps, after which the machine has unwound its frames and
+/// released every reachable cell (the heap is empty again — the
+/// garbage-free guarantee extends to the error path).
+enum class TrapKind : uint8_t {
+  Ok,            ///< ran to completion
+  OutOfMemory,   ///< the heap governor refused an allocation
+  OutOfFuel,     ///< the step-fuel limit was exhausted
+  StackOverflow, ///< the call-depth limit was exceeded
+  RuntimeError,  ///< dynamic error: arity/tag/type mismatch, div-0, abort
+};
+
+/// Short stable name ("ok", "out-of-memory", ...) for messages/tables.
+const char *trapKindName(TrapKind K);
+
 /// Per-run execution statistics and results.
 struct RunResult {
   bool Ok = false;
+  TrapKind Trap = TrapKind::Ok; ///< structured trap cause when !Ok
   std::string Error;       ///< trap message when !Ok
   Value Result;            ///< final value (immediates only; heap results
                            ///< are reported as kind HeapRef and dropped)
@@ -48,6 +64,7 @@ struct RunResult {
   uint64_t ReuseMisses = 0;///< Con@ru that had to allocate fresh
   uint64_t TailCalls = 0;  ///< frame-reusing calls
   uint64_t MaxStackDepth = 0; ///< high-water mark of the locals stack
+  uint64_t UnwoundCells = 0;  ///< cells reclaimed by the trap unwind
 };
 
 /// Executes programs; see the file comment.
@@ -61,8 +78,14 @@ public:
   /// returning (reported in Result.Kind).
   RunResult run(FuncId F, std::vector<Value> Args);
 
-  /// Maximum expression dispatches before trapping (0 = unlimited).
+  /// Step fuel: maximum expression dispatches before trapping with
+  /// OutOfFuel (0 = unlimited).
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+  /// Maximum simultaneously-live non-tail call frames before trapping
+  /// with StackOverflow (0 = unlimited). Tail calls reuse their frame
+  /// and never count against the limit.
+  void setCallDepthLimit(uint64_t Limit) { CallDepthLimit = Limit; }
 
   /// Enumerates every GC root (locals, operands, pending result).
   void enumerateRoots(const std::function<void(Value)> &Fn) const;
@@ -89,7 +112,8 @@ private:
   const Expr *tryRunRcChainToUnit(const Expr *E);
   bool tryRunRcChainToToken(const Expr *E, Value &Tok);
   void runRcChain(const Expr *E, const Expr *End);
-  void trap(std::string Msg);
+  void trap(std::string Msg, TrapKind Kind = TrapKind::RuntimeError);
+  void unwind();
   void finishArgs(const Kont &K);
   void doCall(size_t OperandBase, SourceLoc Loc);
   void finishCon(const ConExpr *C, size_t OperandBase);
@@ -111,6 +135,8 @@ private:
 
   RunResult *Run = nullptr;
   uint64_t StepLimit = 0;
+  uint64_t CallDepthLimit = 0;
+  uint64_t CallDepth = 0; // live non-tail (Ret) frames
   bool Trapped = false;
   std::function<void(Value)> ResultInspector;
 };

@@ -56,13 +56,29 @@ RunResult Runner::callInt(std::string_view Name, std::vector<int64_t> Args) {
 RunResult Runner::call(std::string_view Name, std::vector<Value> Args) {
   RunResult R;
   if (!Ok) {
+    R.Trap = TrapKind::RuntimeError;
     R.Error = "program failed to compile:\n" + Diags.str();
     return R;
   }
   FuncId F = Prog->findFunction(Prog->symbols().intern(Name));
   if (F == InvalidId) {
+    R.Trap = TrapKind::RuntimeError;
     R.Error = "no such function: " + std::string(Name);
     return R;
   }
   return TheMachine->run(F, std::move(Args));
+}
+
+void Runner::setLimits(const RunLimits &L) {
+  if (!Ok)
+    return;
+  TheHeap->setLimits(L.Heap);
+  TheMachine->setStepLimit(L.Fuel);
+  TheMachine->setCallDepthLimit(L.MaxCallDepth);
+}
+
+void Runner::setFaultInjector(FaultInjector *FI) {
+  if (!Ok)
+    return;
+  TheHeap->setFaultInjector(FI);
 }

@@ -27,6 +27,19 @@
 
 namespace perceus {
 
+class FaultInjector;
+
+/// Resource limits for one Runner: heap governor plus machine fuel and
+/// call depth. Zero fields mean "unlimited"; the default is the
+/// ungoverned fast path.
+struct RunLimits {
+  HeapLimits Heap;            ///< live bytes / live cells / alloc budget
+  uint64_t Fuel = 0;          ///< max machine steps (0 = unlimited)
+  uint64_t MaxCallDepth = 0;  ///< max live non-tail frames (0 = unlimited)
+
+  static RunLimits unlimited() { return {}; }
+};
+
 /// See the file comment.
 class Runner {
 public:
@@ -57,8 +70,16 @@ public:
   RunResult call(std::string_view Name, std::vector<Value> Args);
 
   /// After a run in an RC configuration, true iff no cell leaked —
-  /// the dynamic garbage-free-at-exit check.
+  /// the dynamic garbage-free-at-exit check. With the clean-unwind path
+  /// this holds after trapped runs too.
   bool heapIsEmpty() const { return TheHeap->empty(); }
+
+  /// Installs resource limits on the heap and the machine. May be called
+  /// between runs; RunLimits::unlimited() restores the ungoverned path.
+  void setLimits(const RunLimits &L);
+
+  /// Installs a fault injector on the heap (non-owning; null uninstalls).
+  void setFaultInjector(FaultInjector *FI);
 
 private:
   void finishSetup(size_t GcThresholdBytes);

@@ -6,6 +6,8 @@
 
 #include "runtime/Heap.h"
 
+#include "support/FaultInjector.h"
+
 #include <climits>
 #include <cstring>
 
@@ -25,7 +27,7 @@ Heap::~Heap() = default;
 Cell *Heap::allocRaw(uint32_t Arity) {
   if (Arity < FreeLists.size() && FreeLists[Arity]) {
     Cell *C = FreeLists[Arity];
-    FreeLists[Arity] = *reinterpret_cast<Cell **>(C);
+    FreeLists[Arity] = freeListNext(C);
     return C;
   }
   size_t Bytes = Cell::byteSize(Arity);
@@ -50,6 +52,10 @@ Cell *Heap::alloc(uint32_t Arity, uint32_t Tag, CellKind Kind) {
     CollectHook();
     InCollect = false;
   }
+  if (Governed && !governedAllocAllowed(Arity)) {
+    ++Stats.FailedAllocs;
+    return nullptr;
+  }
   Cell *C = allocRaw(Arity);
   C->H.Rc.store(1, std::memory_order_relaxed);
   C->H.Tag = static_cast<uint8_t>(Tag);
@@ -71,13 +77,48 @@ void Heap::release(Cell *C) {
   --Stats.LiveCells;
   Stats.LiveBytes -= Cell::byteSize(C->H.Arity);
   uint32_t Arity = C->H.Arity;
-#ifndef NDEBUG
+  // rc == 0 is the freed marker; the trap-unwind walk relies on it to
+  // skip stale references, so it is written in release builds too.
   C->H.Rc.store(0, std::memory_order_relaxed);
-#endif
   if (Arity >= FreeLists.size())
     FreeLists.resize(Arity + 1, nullptr);
-  *reinterpret_cast<Cell **>(C) = FreeLists[Arity];
+  freeListNext(C) = FreeLists[Arity];
   FreeLists[Arity] = C;
+}
+
+/// Slow path behind the single `Governed` branch in alloc: consults the
+/// fault injector, then the limits; in GC mode a limit violation first
+/// forces an emergency collection, since tracing may be sitting on
+/// reclaimable garbage.
+bool Heap::governedAllocAllowed(uint32_t Arity) {
+  if (Injector && Injector->shouldFailAllocation())
+    return false; // injected faults are deterministic: no rescue attempts
+  if (Limits.unlimited())
+    return true;
+  auto withinLimits = [&] {
+    if (Limits.MaxLiveBytes &&
+        Stats.LiveBytes + Cell::byteSize(Arity) > Limits.MaxLiveBytes)
+      return false;
+    if (Limits.MaxLiveCells && Stats.LiveCells + 1 > Limits.MaxLiveCells)
+      return false;
+    if (Limits.AllocBudget && Stats.Allocs + 1 > Limits.AllocBudget)
+      return false;
+    return true;
+  };
+  if (withinLimits())
+    return true;
+  // An allocation budget counts history, not live data — no collection
+  // can recover it. Live-data limits may be rescued by an emergency GC.
+  if (Mode == HeapMode::Gc && CollectHook && !InCollect &&
+      (Limits.MaxLiveBytes || Limits.MaxLiveCells)) {
+    ++Stats.EmergencyCollections;
+    InCollect = true;
+    CollectHook();
+    InCollect = false;
+    if (withinLimits())
+      return true;
+  }
+  return false;
 }
 
 void Heap::dup(Value V) {
@@ -213,4 +254,47 @@ void Heap::dropChildren(Cell *C) {
 void Heap::resetGcThreshold() {
   size_t Next = Stats.LiveBytes * 2;
   GcThreshold = Next > GcThresholdMin ? Next : GcThresholdMin;
+}
+
+size_t Heap::reclaim(const std::vector<Value> &Roots) {
+  // Mark-and-free over the machine's (over-approximate) root set. Slots
+  // may hold stale references — to cells whose ownership already moved
+  // elsewhere, or to cells already freed. The former are deduplicated
+  // with the GcMark bit; the latter are skipped via the rc == 0 freed
+  // marker, which release() maintains and whose header stays intact
+  // because the free-list link lives past it. Reference counts are
+  // otherwise ignored: at a trap, everything reachable is garbage.
+  std::vector<Cell *> Work;
+  auto push = [&](Value V) {
+    Cell *C = nullptr;
+    if (V.Kind == ValueKind::HeapRef)
+      C = V.Ref;
+    else if (V.Kind == ValueKind::Token)
+      C = V.Tok;
+    if (!C || C->H.Rc.load(std::memory_order_relaxed) == 0 || C->H.GcMark)
+      return;
+    C->H.GcMark = 1;
+    Work.push_back(C);
+  };
+  for (Value V : Roots)
+    push(V);
+  for (size_t I = 0; I != Work.size(); ++I) {
+    Cell *C = Work[I];
+    Value *Fields = C->fields();
+    for (uint32_t F = 0; F != C->H.Arity; ++F)
+      push(Fields[F]);
+  }
+  for (Cell *C : Work)
+    release(C);
+  Stats.UnwindFrees += Work.size();
+  return Work.size();
+}
+
+size_t Heap::reclaimAll() {
+  size_t N = AllCells.size();
+  for (Cell *C : AllCells)
+    release(C);
+  AllCells.clear();
+  Stats.UnwindFrees += N;
+  return N;
 }

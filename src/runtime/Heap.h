@@ -38,6 +38,22 @@ enum class HeapMode : uint8_t {
   Gc, ///< tracing mark-sweep collection (src/gc)
 };
 
+class FaultInjector;
+
+/// Resource-governor limits. A zero field means "unlimited"; the default
+/// value imposes no limits at all, and the governed checks are skipped
+/// entirely (a single predicted-false branch) until a limit or a fault
+/// injector is installed.
+struct HeapLimits {
+  size_t MaxLiveBytes = 0;   ///< cap on Stats.LiveBytes after an alloc
+  uint64_t MaxLiveCells = 0; ///< cap on Stats.LiveCells after an alloc
+  uint64_t AllocBudget = 0;  ///< cap on total allocations (Stats.Allocs)
+
+  bool unlimited() const {
+    return MaxLiveBytes == 0 && MaxLiveCells == 0 && AllocBudget == 0;
+  }
+};
+
 /// Counters the benchmarks and tests read.
 struct HeapStats {
   uint64_t Allocs = 0;        ///< cells allocated (fresh, not reused)
@@ -49,6 +65,9 @@ struct HeapStats {
   uint64_t AtomicRcOps = 0;   ///< rc updates that had to be atomic
   uint64_t IsUniqueTests = 0; ///< executed is-unique tests
   uint64_t Collections = 0;   ///< tracing GC runs
+  uint64_t FailedAllocs = 0;  ///< allocations refused by the governor
+  uint64_t EmergencyCollections = 0; ///< GC runs forced by a limit
+  uint64_t UnwindFrees = 0;   ///< cells reclaimed by trap unwinding
   size_t LiveBytes = 0;       ///< currently allocated cell bytes
   size_t PeakBytes = 0;       ///< high-water mark of LiveBytes
   uint64_t LiveCells = 0;     ///< currently allocated cells
@@ -69,7 +88,28 @@ public:
 
   /// Allocates a cell with \p Arity fields (fields uninitialized). In GC
   /// mode this may trigger a collection via the collect hook.
+  ///
+  /// Returns null when the governor refuses the allocation: an installed
+  /// fault injector fired, or a limit would be exceeded (after an
+  /// emergency collection in GC mode). Callers must treat null as an
+  /// out-of-memory trap, never dereference it.
   Cell *alloc(uint32_t Arity, uint32_t Tag, CellKind Kind);
+
+  //===--- Resource governor ------------------------------------------------//
+
+  /// Installs allocation limits (default: unlimited).
+  void setLimits(const HeapLimits &L) {
+    Limits = L;
+    updateGoverned();
+  }
+  const HeapLimits &limits() const { return Limits; }
+
+  /// Installs a fault injector (non-owning; null uninstalls). The
+  /// injector sees every allocation attempt.
+  void setFaultInjector(FaultInjector *FI) {
+    Injector = FI;
+    updateGoverned();
+  }
 
   /// Increments the reference count of \p V (no-op on immediates).
   void dup(Value V);
@@ -117,13 +157,44 @@ public:
   /// True when no cells are live — the garbage-free-at-exit check.
   bool empty() const { return Stats.LiveCells == 0; }
 
+  //===--- Trap unwinding ---------------------------------------------------//
+
+  /// Frees every live cell reachable from \p Roots (HeapRef and Token
+  /// values; reuse tokens are freed without traversing their stale
+  /// fields' ownership — every reachable live cell is released exactly
+  /// once, regardless of its reference count). Used by the machine's
+  /// clean-unwind path: at a trap everything the machine still references
+  /// is garbage, and stale references to already-freed cells are skipped
+  /// via the freed marker (rc == 0). Returns the number of cells freed.
+  size_t reclaim(const std::vector<Value> &Roots);
+
+  /// GC-mode unwind: releases every registered cell (at a trap there are
+  /// no roots left, so all of them are garbage). Returns the count.
+  size_t reclaimAll();
+
 private:
   Cell *allocRaw(uint32_t Arity);
   void release(Cell *C);
   void dropRef(Cell *C);
+  bool governedAllocAllowed(uint32_t Arity);
+  void updateGoverned() {
+    Governed = Injector != nullptr || !Limits.unlimited();
+  }
+
+  /// Free cells keep their header intact (rc == 0 marks them free, and
+  /// the arity stays readable for the unwind walk); the free-list link
+  /// lives in the first field slot, which every cell has thanks to the
+  /// 16-byte allocation rounding.
+  static Cell *&freeListNext(Cell *C) {
+    return *reinterpret_cast<Cell **>(reinterpret_cast<char *>(C) +
+                                      sizeof(CellHeader));
+  }
 
   HeapMode Mode;
   HeapStats Stats;
+  HeapLimits Limits;
+  FaultInjector *Injector = nullptr;
+  bool Governed = false;
 
   // Bump-allocated slabs.
   std::vector<std::unique_ptr<char[]>> Slabs;

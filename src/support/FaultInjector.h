@@ -1,0 +1,97 @@
+//===- support/FaultInjector.h - Deterministic fault injection --*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the resource governor. The heap
+/// consults an installed injector once per allocation attempt; when the
+/// injector says "fail", the allocation reports out-of-memory instead of
+/// returning a cell. Two policies cover the test patterns we need:
+///
+///   * failNth(k): the k-th attempt (1-based) fails, everything else
+///     succeeds. Driving k across the full allocation count of a program
+///     is the SQLite-style exhaustive OOM sweep
+///     (tests/integration/fault_sweep_test.cpp).
+///   * probabilistic(seed, num, den): each attempt independently fails
+///     with probability num/den, reproducibly from a seeded Rng.
+///
+/// Injectors are cheap value types; the heap holds a non-owning pointer
+/// so a test can keep the injector on its stack and inspect the attempt
+/// counters after the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SUPPORT_FAULTINJECTOR_H
+#define PERCEUS_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace perceus {
+
+/// Decides, per allocation attempt, whether to inject a failure.
+class FaultInjector {
+public:
+  /// Fails the \p N-th attempt (1-based); all other attempts succeed.
+  /// N == 0 never fails (a pure attempt counter).
+  static FaultInjector failNth(uint64_t N) {
+    FaultInjector F;
+    F.FailAt = N;
+    return F;
+  }
+
+  /// Fails each attempt independently with probability Num/Den.
+  static FaultInjector probabilistic(uint64_t Seed, uint64_t Num,
+                                     uint64_t Den) {
+    FaultInjector F;
+    F.Seed0 = Seed;
+    F.R = Rng(Seed);
+    F.Num = Num;
+    F.Den = Den;
+    return F;
+  }
+
+  /// Called by the heap once per allocation attempt. Counts the attempt
+  /// and returns true when it should fail.
+  bool shouldFailAllocation() {
+    ++Attempts;
+    bool Fail = false;
+    if (FailAt)
+      Fail = Attempts == FailAt;
+    else if (Den)
+      Fail = R.chance(Num, Den);
+    if (Fail)
+      ++Injected;
+    return Fail;
+  }
+
+  /// Allocation attempts observed so far (including failed ones).
+  uint64_t attempts() const { return Attempts; }
+
+  /// Failures injected so far.
+  uint64_t injected() const { return Injected; }
+
+  /// Rewinds the counters (and the probabilistic stream) so the same
+  /// injector can govern a fresh run.
+  void reset() {
+    Attempts = Injected = 0;
+    if (Den)
+      R = Rng(Seed0);
+  }
+
+private:
+  FaultInjector() = default;
+
+  uint64_t FailAt = 0; ///< failNth policy; 0 = disabled
+  uint64_t Num = 0, Den = 0, Seed0 = 0;
+  Rng R{0};
+  uint64_t Attempts = 0;
+  uint64_t Injected = 0;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_SUPPORT_FAULTINJECTOR_H

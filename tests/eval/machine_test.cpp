@@ -47,6 +47,10 @@ std::string trapOf(std::string_view Src, std::vector<int64_t> Args = {}) {
   EXPECT_TRUE(R.ok()) << R.diagnostics().str();
   RunResult Res = R.callInt("main", Args);
   EXPECT_FALSE(Res.Ok);
+  EXPECT_EQ(Res.Trap, TrapKind::RuntimeError);
+  // Every trap takes the clean-unwind path: no cell survives it.
+  EXPECT_TRUE(R.heapIsEmpty())
+      << "trap leaked " << R.heap().stats().LiveCells << " cells";
   return Res.Error;
 }
 
@@ -164,7 +168,62 @@ TEST(Machine, StepLimitTraps) {
   R.machine().setStepLimit(10000);
   RunResult Res = R.callInt("main", {1});
   EXPECT_FALSE(Res.Ok);
+  EXPECT_EQ(Res.Trap, TrapKind::OutOfFuel);
   EXPECT_NE(Res.Error.find("step limit"), std::string::npos);
+  EXPECT_TRUE(R.heapIsEmpty());
+}
+
+TEST(Machine, CallDepthLimitTraps) {
+  Runner R("fun sum(n) { if n == 0 then 0 else n + sum(n - 1) } "
+           "fun main(n) { sum(n) }",
+           PassConfig::perceusFull());
+  R.machine().setCallDepthLimit(100);
+  RunResult Res = R.callInt("main", {1000});
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_EQ(Res.Trap, TrapKind::StackOverflow);
+  EXPECT_TRUE(R.heapIsEmpty());
+  // Shallow recursion stays under the limit on the same machine.
+  RunResult Ok = R.callInt("main", {50});
+  ASSERT_TRUE(Ok.Ok) << Ok.Error;
+  EXPECT_EQ(Ok.Result.Int, 1275);
+}
+
+TEST(Machine, TrapUnwindReportsReclaimedCells) {
+  // The half-built list is reclaimed by the unwind, and the run result
+  // reports how many cells that was.
+  const char *Src = R"(
+    type list { Cons(h, t)  Nil }
+    fun build(i) { if i == 0 then abort() else Cons(i, build(i - 1)) }
+    fun main(n) { match build(n) { Cons(h, t) -> h  Nil -> 0 } }
+  )";
+  Runner R(Src, PassConfig::perceusFull());
+  ASSERT_TRUE(R.ok()) << R.diagnostics().str();
+  RunResult Res = R.callInt("main", {10});
+  ASSERT_FALSE(Res.Ok);
+  EXPECT_EQ(Res.Trap, TrapKind::RuntimeError);
+  EXPECT_TRUE(R.heapIsEmpty());
+  EXPECT_EQ(Res.UnwoundCells, 0u) << "nothing was live yet at the abort";
+  // Now trap while structure is genuinely live: the list is consumed
+  // *after* the faulting division, so Perceus cannot drop it early.
+  const char *Src2 = R"(
+    type list { Cons(h, t)  Nil }
+    fun build(i) { if i == 0 then Nil else Cons(i, build(i - 1)) }
+    fun len(xs, acc) {
+      match xs { Cons(h, t) -> len(t, acc + 1)  Nil -> acc }
+    }
+    fun main(n) {
+      val xs = build(n)
+      val bad = n / (n - n)
+      len(xs, bad)
+    }
+  )";
+  Runner R2(Src2, PassConfig::perceusFull());
+  ASSERT_TRUE(R2.ok()) << R2.diagnostics().str();
+  RunResult Res2 = R2.callInt("main", {10});
+  ASSERT_FALSE(Res2.Ok);
+  EXPECT_EQ(Res2.Trap, TrapKind::RuntimeError);
+  EXPECT_TRUE(R2.heapIsEmpty());
+  EXPECT_GT(Res2.UnwoundCells, 0u) << "the list must ride the unwind";
 }
 
 TEST(Machine, EntryArityChecked) {

@@ -23,6 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 using namespace perceus;
 
 namespace {
@@ -125,6 +129,52 @@ INSTANTIATE_TEST_SUITE_P(Benchmarks, ProgramCase,
                                C = '_';
                            return Name;
                          });
+
+TEST(ExamplePrograms, AllPercFilesStayGarbageFreeUnderEveryConfig) {
+  // Leak-at-exit assertion over *every* shipped example program, not
+  // just the spot-checked embedded sources: each examples/programs/*.perc
+  // runs under each stock PassConfig, must compute the same result, and
+  // must leave the heap empty in every RC configuration.
+  namespace fs = std::filesystem;
+  fs::path Dir(PERCEUS_EXAMPLE_PROGRAMS_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+  size_t Found = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    if (E.path().extension() != ".perc")
+      continue;
+    ++Found;
+    std::ifstream In(E.path());
+    ASSERT_TRUE(In.good()) << E.path();
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Source = Buf.str();
+    std::string Name = E.path().filename().string();
+    // Every example's entry is `main(n)`; nqueens needs a small board.
+    int64_t N = Name == "nqueens.perc" ? 5 : 24;
+
+    std::optional<int64_t> Expected;
+    for (const PassConfig &Config :
+         {PassConfig::perceusFull(), PassConfig::perceusNoOpt(),
+          PassConfig::perceusBorrow(), PassConfig::scoped(),
+          PassConfig::gc()}) {
+      Runner R(Source, Config);
+      ASSERT_TRUE(R.ok()) << Name << "/" << Config.name() << ": "
+                          << R.diagnostics().str();
+      RunResult Res = R.callInt("main", {N});
+      ASSERT_TRUE(Res.Ok) << Name << "/" << Config.name() << ": "
+                          << Res.Error;
+      if (!Expected)
+        Expected = Res.Result.Int;
+      EXPECT_EQ(Res.Result.Int, *Expected) << Name << "/" << Config.name();
+      if (Config.Mode != RcMode::None) {
+        EXPECT_TRUE(R.heapIsEmpty())
+            << Name << "/" << Config.name() << " leaked "
+            << R.heap().stats().LiveCells << " cells at exit";
+      }
+    }
+  }
+  EXPECT_GE(Found, 4u) << "example programs went missing from " << Dir;
+}
 
 TEST(NativeBaselines, MatchKnownValues) {
   // Small, independently computable checks of the native code itself.

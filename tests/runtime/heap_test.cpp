@@ -6,6 +6,8 @@
 
 #include "runtime/Heap.h"
 
+#include "support/FaultInjector.h"
+
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -255,6 +257,265 @@ TEST(Heap, ConcurrentSharedCounting) {
   EXPECT_EQ(V.Ref->H.Rc.load(), -1); // balanced
   H.drop(V);
   EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, SharedDecRefDropToZeroFreesChildren) {
+  // decref on a thread-shared cell whose (negative) count reaches zero
+  // must free the cell *and* recursively drop its children, exactly like
+  // the unique drop path (Section 2.7.2's fused rc <= 1 slow path).
+  Heap H;
+  Value Child = mkCell(H, 0);
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Child;
+  Value V = Value::makeRef(Parent);
+  H.markShared(V);
+  EXPECT_EQ(Parent->H.Rc.load(), -1);
+  EXPECT_EQ(Child.Ref->H.Rc.load(), -1);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.decref(V);
+  EXPECT_TRUE(H.empty()) << "shared decref to zero must cascade";
+  // One atomic decref on the parent, one atomic drop on the child.
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0 + 2);
+  EXPECT_EQ(H.stats().DecRefOps, 1u);
+}
+
+TEST(Heap, SharedDecRefAboveOneJustDecrements) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  H.dup(V); // rc 2
+  H.markShared(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -2);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0 + 1);
+  EXPECT_EQ(H.stats().LiveCells, 1u);
+  H.decref(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, IsUniqueIsAlwaysFalseOnSharedValues) {
+  // A thread-shared cell with logical count 1 still fails is-unique:
+  // another thread may be duplicating it concurrently, so the reuse fast
+  // path must not fire (Section 2.7.2).
+  Heap H;
+  Value V = mkCell(H, 0);
+  EXPECT_TRUE(H.isUnique(V));
+  H.markShared(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1); // logical count 1, but shared
+  EXPECT_FALSE(H.isUnique(V));
+  H.dup(V);
+  EXPECT_FALSE(H.isUnique(V));
+  H.drop(V);
+  EXPECT_FALSE(H.isUnique(V));
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, MarkSharedIsIdempotentAndStopsAtSharedSubtrees) {
+  Heap H;
+  Value Child = mkCell(H, 0);
+  H.markShared(Child); // already shared before the parent is
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Child;
+  Value V = Value::makeRef(Parent);
+  H.markShared(V);
+  H.markShared(V); // idempotent: counts must not flip back or double
+  EXPECT_EQ(Parent->H.Rc.load(), -1);
+  EXPECT_EQ(Child.Ref->H.Rc.load(), -1);
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, SharedDupDropAtomicAccountingOnDeepChain) {
+  // Every RC operation on a shared cell is atomic and counted; dropping
+  // a shared chain to zero performs one atomic op per cell.
+  Heap H;
+  Value Tail = Value::unit();
+  constexpr int Len = 10;
+  for (int I = 0; I != Len; ++I) {
+    Cell *C = H.alloc(2, 0, CellKind::Ctor);
+    C->fields()[0] = Value::makeInt(I);
+    C->fields()[1] = Tail;
+    Tail = Value::makeRef(C);
+  }
+  H.markShared(Tail);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.drop(Tail);
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0 + Len);
+}
+
+TEST(Heap, StickyCellIgnoresDecRef) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MIN, std::memory_order_relaxed);
+  H.decref(V);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN);
+  EXPECT_EQ(H.stats().LiveCells, 1u);
+  H.freeMemoryOnly(V.Ref); // test cleanup
+}
+
+//===--- Resource governor ---------------------------------------------------//
+
+TEST(HeapGovernor, UnlimitedByDefault) {
+  Heap H;
+  EXPECT_TRUE(H.limits().unlimited());
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_NE(H.alloc(1, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(H.stats().FailedAllocs, 0u);
+}
+
+TEST(HeapGovernor, MaxLiveCellsRefusesAtTheCap) {
+  Heap H;
+  HeapLimits L;
+  L.MaxLiveCells = 2;
+  H.setLimits(L);
+  Value A = mkCell(H, 0);
+  Value B = mkCell(H, 0);
+  EXPECT_TRUE(B.isHeap());
+  EXPECT_EQ(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(H.stats().FailedAllocs, 1u);
+  H.drop(A); // freeing makes room again
+  EXPECT_NE(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(H.stats().LiveCells, 2u);
+}
+
+TEST(HeapGovernor, MaxLiveBytesAccountsCellSize) {
+  Heap H;
+  HeapLimits L;
+  L.MaxLiveBytes = Cell::byteSize(2) + Cell::byteSize(0);
+  H.setLimits(L);
+  Value A = mkCell(H, 2);
+  EXPECT_EQ(H.alloc(2, 0, CellKind::Ctor), nullptr) << "would exceed cap";
+  EXPECT_NE(H.alloc(0, 0, CellKind::Ctor), nullptr) << "small cell fits";
+  EXPECT_EQ(H.stats().FailedAllocs, 1u);
+  (void)A;
+}
+
+TEST(HeapGovernor, AllocBudgetCountsLifetimeAllocations) {
+  Heap H;
+  HeapLimits L;
+  L.AllocBudget = 3;
+  H.setLimits(L);
+  Value A = mkCell(H, 0);
+  H.drop(A); // freeing does not refund the budget
+  Value B = mkCell(H, 0);
+  H.drop(B);
+  Value C = mkCell(H, 0);
+  H.drop(C);
+  EXPECT_EQ(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(H.stats().FailedAllocs, 1u);
+}
+
+TEST(HeapGovernor, FaultInjectorFailsExactlyTheNthAttempt) {
+  Heap H;
+  FaultInjector FI = FaultInjector::failNth(3);
+  H.setFaultInjector(&FI);
+  EXPECT_NE(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_NE(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_NE(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(FI.attempts(), 4u);
+  EXPECT_EQ(FI.injected(), 1u);
+  H.setFaultInjector(nullptr);
+  EXPECT_NE(H.alloc(0, 0, CellKind::Ctor), nullptr);
+  EXPECT_EQ(FI.attempts(), 4u) << "uninstalled injector must not see allocs";
+}
+
+//===--- Trap unwinding ------------------------------------------------------//
+
+TEST(HeapReclaim, FreesAReachableGraph) {
+  Heap H;
+  // A diamond: root -> {a, b}, both -> shared (properly dup'd).
+  Value Shared = mkCell(H, 0);
+  H.dup(Shared);
+  Cell *A = H.alloc(1, 0, CellKind::Ctor);
+  A->fields()[0] = Shared;
+  Cell *B = H.alloc(1, 0, CellKind::Ctor);
+  B->fields()[0] = Shared;
+  Cell *Root = H.alloc(2, 0, CellKind::Ctor);
+  Root->fields()[0] = Value::makeRef(A);
+  Root->fields()[1] = Value::makeRef(B);
+  EXPECT_EQ(H.reclaim({Value::makeRef(Root)}), 4u);
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.stats().UnwindFrees, 4u);
+}
+
+TEST(HeapReclaim, SkipsStaleReferencesToFreedCells) {
+  // The machine's slots can hold references whose cell was already freed
+  // (ownership consumed earlier on the trapping path). The freed marker
+  // (rc == 0) makes the walk skip them instead of double-freeing.
+  Heap H;
+  Value Dead = mkCell(H, 3);
+  H.drop(Dead); // freed; the stale Value still points at the cell
+  // Different size class, so Dead's cell is not recycled and stays freed.
+  Value Live = mkCell(H, 0);
+  EXPECT_EQ(H.reclaim({Dead, Live, Dead}), 1u);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapReclaim, DedupsAliasedRoots) {
+  Heap H;
+  Value V = mkCell(H, 1);
+  V.Ref->fields()[0] = Value::makeInt(1);
+  EXPECT_EQ(H.reclaim({V, V, V}), 1u);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapReclaim, FreesReuseTokensWithoutChasingStaleFields) {
+  // A reuse token holds a cell whose children were already dropped; its
+  // field area is stale. Reclaim must free the token cell once and skip
+  // the dangling children.
+  Heap H;
+  Value ChildA = mkCell(H, 0);
+  Value ChildB = mkCell(H, 0);
+  Cell *Parent = H.alloc(2, 0, CellKind::Ctor);
+  Parent->fields()[0] = ChildA;
+  Parent->fields()[1] = ChildB;
+  H.dropChildren(Parent); // the drop-reuse unique path
+  EXPECT_EQ(H.stats().LiveCells, 1u);
+  EXPECT_EQ(H.reclaim({Value::makeToken(Parent)}), 1u);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapReclaim, NullTokenAndImmediatesAreIgnored) {
+  Heap H;
+  EXPECT_EQ(H.reclaim({Value::makeToken(nullptr), Value::makeInt(7),
+                       Value::makeBool(true), Value::unit(),
+                       Value::makeEnum(0, 1), Value::makeFnRef(2)}),
+            0u);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapReclaim, FreedCellsKeepAReadableHeader) {
+  // The free-list link must not clobber the header: the unwind walk
+  // depends on rc == 0 and a valid arity in freed cells.
+  Heap H;
+  Value V = mkCell(H, 2);
+  Cell *C = V.Ref;
+  H.drop(V);
+  EXPECT_EQ(C->H.Rc.load(), 0);
+  EXPECT_EQ(C->H.Arity, 2);
+  // And the free list still works: same size class comes back.
+  Value V2 = mkCell(H, 2);
+  EXPECT_EQ(V2.Ref, C);
+  H.drop(V2);
+}
+
+TEST(HeapReclaim, GcModeReclaimAllReleasesEverything) {
+  Heap H(HeapMode::Gc);
+  for (int I = 0; I != 32; ++I)
+    mkCell(H, 1);
+  EXPECT_EQ(H.stats().LiveCells, 32u);
+  EXPECT_EQ(H.reclaimAll(), 32u);
+  EXPECT_TRUE(H.empty());
+  EXPECT_TRUE(H.allCells().empty());
+  // The heap stays serviceable afterwards.
+  mkCell(H, 1);
+  EXPECT_EQ(H.stats().LiveCells, 1u);
+  EXPECT_EQ(H.reclaimAll(), 1u);
 }
 
 TEST(HeapGc, GcModeIgnoresRcOps) {

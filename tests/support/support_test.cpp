@@ -6,6 +6,7 @@
 
 #include "support/Arena.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 #include "support/Symbol.h"
 
@@ -145,6 +146,44 @@ TEST(Rng, RangeIsInclusive) {
     Seen.insert(V);
   }
   EXPECT_EQ(Seen.size(), 5u); // all five values hit
+}
+
+TEST(FaultInjector, FailNthFailsExactlyOnce) {
+  FaultInjector FI = FaultInjector::failNth(3);
+  EXPECT_FALSE(FI.shouldFailAllocation());
+  EXPECT_FALSE(FI.shouldFailAllocation());
+  EXPECT_TRUE(FI.shouldFailAllocation());
+  // Single-shot: later attempts succeed again.
+  for (int I = 0; I != 10; ++I)
+    EXPECT_FALSE(FI.shouldFailAllocation());
+  EXPECT_EQ(FI.attempts(), 13u);
+  EXPECT_EQ(FI.injected(), 1u);
+}
+
+TEST(FaultInjector, ResetReplaysTheSameSchedule) {
+  FaultInjector FI = FaultInjector::probabilistic(99, 1, 8);
+  std::vector<bool> First, Second;
+  for (int I = 0; I != 200; ++I)
+    First.push_back(FI.shouldFailAllocation());
+  uint64_t Injected = FI.injected();
+  FI.reset();
+  EXPECT_EQ(FI.attempts(), 0u);
+  EXPECT_EQ(FI.injected(), 0u);
+  for (int I = 0; I != 200; ++I)
+    Second.push_back(FI.shouldFailAllocation());
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(FI.injected(), Injected);
+  EXPECT_GT(Injected, 0u); // p=1/8 over 200 draws fires
+}
+
+TEST(FaultInjector, ProbabilisticRateIsCalibrated) {
+  FaultInjector FI = FaultInjector::probabilistic(5, 1, 4);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += FI.shouldFailAllocation();
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+  EXPECT_EQ(FI.injected(), uint64_t(Hits));
 }
 
 TEST(Rng, ChanceIsCalibrated) {
