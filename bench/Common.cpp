@@ -6,7 +6,9 @@
 
 #include "Common.h"
 
+#include "eval/StatsJson.h"
 #include "native/Native.h"
+#include "support/JsonWriter.h"
 
 #include <algorithm>
 #include <cmath>
@@ -46,11 +48,14 @@ std::vector<BenchProgram> perceus::bench::figure9Programs(double Scale) {
 }
 
 Measurement perceus::bench::measure(const BenchProgram &Prog,
-                                    const PassConfig &Config) {
+                                    const PassConfig &Config,
+                                    StatsSink *Sink) {
   Measurement M;
   Runner R(Prog.Source, Config);
   if (!R.ok())
     return M;
+  if (Sink)
+    R.setStatsSink(Sink);
   auto T0 = std::chrono::steady_clock::now();
   RunResult Res = R.callInt(Prog.Entry, {Prog.BaseScale});
   auto T1 = std::chrono::steady_clock::now();
@@ -117,4 +122,151 @@ double perceus::bench::parseScale(int Argc, char **Argv, double Default) {
       return std::atof(Argv[I] + 8);
   }
   return Default;
+}
+
+BenchReport::BenchReport(std::string Bench, double Scale)
+    : Bench(std::move(Bench)), Scale(Scale) {}
+
+void BenchReport::add(std::string Benchmark, std::string Config,
+                      const Measurement &M) {
+  Rows.push_back({std::move(Benchmark), std::move(Config), M});
+}
+
+std::string BenchReport::json() const {
+  JsonWriter W;
+  W.beginObject()
+      .member("schema", "perceus-bench-v1")
+      .member("bench", std::string_view(Bench))
+      .member("scale", Scale);
+  W.key("results").beginArray();
+  for (const Row &R : Rows) {
+    W.beginObject()
+        .member("benchmark", std::string_view(R.Benchmark))
+        .member("config", std::string_view(R.Config))
+        .member("ok", R.M.Ran)
+        .member("seconds", R.M.Seconds)
+        .member("checksum", R.M.Checksum)
+        .member("peak_bytes", R.M.PeakBytes);
+    W.key("heap");
+    writeHeapStatsJson(W, R.M.Heap);
+    W.key("run");
+    writeRunResultJson(W, R.M.Run);
+    W.endObject();
+  }
+  W.endArray().endObject();
+  return W.take();
+}
+
+std::string BenchReport::defaultPath(const std::string &Bench) {
+#ifdef PERCEUS_REPO_ROOT
+  return std::string(PERCEUS_REPO_ROOT) + "/BENCH_" + Bench + ".json";
+#else
+  return "BENCH_" + Bench + ".json";
+#endif
+}
+
+bool BenchReport::write(const std::string &Path) const {
+  std::string Out = Path.empty() ? defaultPath(Bench) : Path;
+  std::string Text = json();
+  std::FILE *F = std::fopen(Out.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench: cannot write '%s'\n", Out.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  std::printf("\nwrote %s\n", Out.c_str());
+  return true;
+}
+
+std::string perceus::bench::parseJsonPath(const char *Bench, int Argc,
+                                          char **Argv) {
+  std::string Path = BenchReport::defaultPath(Bench);
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--no-json") == 0)
+      return std::string();
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      Path = Argv[I] + 7;
+  }
+  return Path;
+}
+
+namespace {
+
+/// Checks that \p Obj has a member \p Key of kind \p K; appends to Err.
+bool requireKey(const JsonValue &Obj, const char *Key, JsonValue::Kind K,
+                const char *Where, std::string &Err) {
+  if (Obj.find(Key, K))
+    return true;
+  Err = std::string("missing or mistyped '") + Key + "' in " + Where;
+  return false;
+}
+
+} // namespace
+
+std::string perceus::bench::validateBenchJson(std::string_view Text) {
+  std::string Err;
+  std::optional<JsonValue> Doc = parseJson(Text, &Err);
+  if (!Doc)
+    return "parse error: " + Err;
+  using K = JsonValue::Kind;
+  if (!Doc->isObject())
+    return "top level is not an object";
+  const JsonValue *Schema = Doc->find("schema", K::String);
+  if (!Schema || Schema->Str != "perceus-bench-v1")
+    return "missing or unknown 'schema' (want perceus-bench-v1)";
+  if (!requireKey(*Doc, "bench", K::String, "document", Err) ||
+      !requireKey(*Doc, "scale", K::Number, "document", Err))
+    return Err;
+  const JsonValue *Results = Doc->find("results", K::Array);
+  if (!Results)
+    return "missing or mistyped 'results'";
+  if (Results->Items.empty())
+    return "'results' is empty";
+  static const char *HeapKeys[] = {
+      "allocs",          "frees",         "dup_ops",
+      "drop_ops",        "decref_ops",    "non_heap_rc_ops",
+      "atomic_rc_ops",   "is_unique_tests", "live_bytes",
+      "peak_bytes",      "live_cells"};
+  static const char *RunKeys[] = {"steps",      "reuse_hits",
+                                  "reuse_misses", "tail_calls",
+                                  "max_stack_depth", "unwound_cells"};
+  static const char *RcKeys[] = {"dups",       "drops",         "frees",
+                                 "decrefs",    "is_uniques",
+                                 "drop_reuses", "implicit_dups",
+                                 "implicit_drops", "implicit_decrefs"};
+  for (const JsonValue &R : Results->Items) {
+    if (!R.isObject())
+      return "result row is not an object";
+    if (!requireKey(R, "benchmark", K::String, "result", Err) ||
+        !requireKey(R, "config", K::String, "result", Err) ||
+        !requireKey(R, "ok", K::Bool, "result", Err) ||
+        !requireKey(R, "seconds", K::Number, "result", Err) ||
+        !requireKey(R, "checksum", K::Number, "result", Err) ||
+        !requireKey(R, "peak_bytes", K::Number, "result", Err))
+      return Err;
+    const JsonValue *Heap = R.find("heap", K::Object);
+    if (!Heap)
+      return "missing or mistyped 'heap' in result";
+    for (const char *Key : HeapKeys)
+      if (!requireKey(*Heap, Key, K::Number, "heap", Err))
+        return Err;
+    const JsonValue *Run = R.find("run", K::Object);
+    if (!Run)
+      return "missing or mistyped 'run' in result";
+    if (!requireKey(*Run, "ok", K::Bool, "run", Err) ||
+        !requireKey(*Run, "trap", K::String, "run", Err))
+      return Err;
+    for (const char *Key : RunKeys)
+      if (!requireKey(*Run, Key, K::Number, "run", Err))
+        return Err;
+    const JsonValue *Rc = Run->find("rc_instrs", K::Object);
+    if (!Rc)
+      return "missing or mistyped 'rc_instrs' in run";
+    for (const char *Key : RcKeys)
+      if (!requireKey(*Rc, Key, K::Number, "rc_instrs", Err))
+        return Err;
+  }
+  return std::string();
 }

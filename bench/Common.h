@@ -17,12 +17,14 @@
 
 #include "eval/Runner.h"
 #include "programs/Programs.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace perceus {
@@ -50,8 +52,12 @@ struct Measurement {
   RunResult Run;
 };
 
-/// Runs \p Prog under \p Config once and measures it.
-Measurement measure(const BenchProgram &Prog, const PassConfig &Config);
+/// Runs \p Prog under \p Config once and measures it. When \p Sink is
+/// non-null it is installed on the heap for the run, so per-site RC
+/// event attribution rides along (note: the hooked run is slower; don't
+/// compare its time against unhooked rows).
+Measurement measure(const BenchProgram &Prog, const PassConfig &Config,
+                    StatsSink *Sink = nullptr);
 
 /// Runs the native C++ version (time only).
 Measurement measureNative(const BenchProgram &Prog);
@@ -66,6 +72,50 @@ void printRelativeTable(const char *Title, const char *Unit,
 
 /// Parses `--scale=X` (default 1.0) from argv.
 double parseScale(int Argc, char **Argv, double Default = 1.0);
+
+/// Machine-readable results ("perceus-bench-v1"): every harness appends
+/// one row per benchmark × configuration and writes `BENCH_<name>.json`
+/// at the repository root — the artifact CI uploads and the bench
+/// trajectory is built from.
+class BenchReport {
+public:
+  /// \p Bench is the harness name ("fig9", "rcops", ...); \p Scale the
+  /// workload scale the run used (0 when not applicable).
+  BenchReport(std::string Bench, double Scale);
+
+  /// Appends one measured cell.
+  void add(std::string Benchmark, std::string Config, const Measurement &M);
+
+  /// The complete JSON document.
+  std::string json() const;
+
+  /// Writes the document to \p Path, or to the default
+  /// `<repo>/BENCH_<name>.json` when \p Path is empty. Returns false
+  /// (with a message on stderr) when the file cannot be written.
+  bool write(const std::string &Path = std::string()) const;
+
+  /// Default output path for harness \p Bench.
+  static std::string defaultPath(const std::string &Bench);
+
+private:
+  std::string Bench;
+  double Scale;
+  struct Row {
+    std::string Benchmark;
+    std::string Config;
+    Measurement M;
+  };
+  std::vector<Row> Rows;
+};
+
+/// Parses `--json=PATH` / `--no-json` from argv. Returns the explicit
+/// path, the default path for \p Bench when neither flag is given, or
+/// an empty string when `--no-json` disables emission.
+std::string parseJsonPath(const char *Bench, int Argc, char **Argv);
+
+/// Checks \p Text against the "perceus-bench-v1" schema. Returns an
+/// empty string when valid, else a description of the first violation.
+std::string validateBenchJson(std::string_view Text);
 
 } // namespace bench
 } // namespace perceus

@@ -17,7 +17,7 @@
 ///   morris (C++) Figure 2, the native mutating algorithm
 ///   recursive (C++) native recursion baseline
 ///
-/// Usage: bench_fbip [--depth=D]
+/// Usage: bench_fbip [--depth=D] [--json=PATH | --no-json]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +32,8 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I)
     if (std::strncmp(Argv[I], "--depth=", 8) == 0)
       Depth = std::atoll(Argv[I] + 8);
+  std::string JsonPath = parseJsonPath("fbip", Argc, Argv);
+  BenchReport Report("fbip", double(Depth));
 
   std::printf("FBIP tree traversal, perfect tree of depth %lld "
               "(%lld nodes)\n",
@@ -47,6 +49,7 @@ int main(int Argc, char **Argv) {
   for (const char *Entry : {"bench_tmap_fbip", "bench_tmap_naive"}) {
     BenchProgram Prog{Entry, tmapSource(), Entry, Depth, nullptr};
     Measurement M = measure(Prog, PassConfig::perceusFull());
+    Report.add(Entry, "perceus", M);
     if (!M.Ran) {
       std::printf("  %-22s failed\n", Entry);
       continue;
@@ -70,6 +73,11 @@ int main(int Argc, char **Argv) {
     std::printf("  %-22s %9.3fs %12s %12s %14s %10s   (checksum %lld)\n",
                 "morris (native C++)", Dt, "-", "-", "0", "O(1)",
                 (long long)R);
+    Measurement M;
+    M.Ran = true;
+    M.Seconds = Dt;
+    M.Checksum = R;
+    Report.add("tmap_morris", "native-c++", M);
   }
   {
     auto T0 = std::chrono::steady_clock::now();
@@ -80,6 +88,13 @@ int main(int Argc, char **Argv) {
     std::printf("  %-22s %9.3fs %12s %12s %14s %10s   (checksum %lld)\n",
                 "recursive (native C++)", Dt, "-", "-", "0", "O(depth)",
                 (long long)R);
+    Measurement M;
+    M.Ran = true;
+    M.Seconds = Dt;
+    M.Checksum = R;
+    Report.add("tmap_recursive", "native-c++", M);
   }
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return 0;
 }

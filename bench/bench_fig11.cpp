@@ -24,6 +24,10 @@ int main(int Argc, char **Argv) {
   std::printf("Figure 11 = Figure 9 on another machine. Running the "
               "scale-stability check instead\n(run bench_fig9 on a second "
               "machine for the literal reproduction).\n");
+  std::string JsonPath = parseJsonPath("fig11", Argc, Argv);
+  // The sweep visits several scales; the report's scale field carries
+  // the largest one and each row is tagged "<benchmark>@<scale>".
+  BenchReport Report("fig11", 1.0);
 
   std::vector<PassConfig> Configs = {
       PassConfig::perceusFull(), PassConfig::scoped(), PassConfig::gc()};
@@ -36,6 +40,9 @@ int main(int Argc, char **Argv) {
       size_t Peaks[3] = {0, 0, 0};
       for (size_t I = 0; I != Configs.size(); ++I) {
         Measurement M = measure(Prog, Configs[I]);
+        char Tag[64];
+        std::snprintf(Tag, sizeof(Tag), "%s@%.2f", Prog.Name, Scale);
+        Report.add(Tag, Names[I], M);
         Peaks[I] = M.Ran ? M.PeakBytes : 0;
       }
       bool PerceusBest = Peaks[0] <= Peaks[1] && Peaks[0] <= Peaks[2];
@@ -44,8 +51,9 @@ int main(int Argc, char **Argv) {
                   Peaks[2] / 1048576.0,
                   PerceusBest ? "[perceus lowest: ok]"
                               : "[ORDERING CHANGED]");
-      (void)Names;
     }
   }
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return 0;
 }

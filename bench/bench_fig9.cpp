@@ -22,7 +22,9 @@
 /// native-c++ row runs compiled code and is reported for completeness
 /// with that caveat. Peak working set is exact live-heap bytes.
 ///
-/// Usage: bench_fig9 [--scale=X]   (X=1 is the CI-friendly default)
+/// Usage: bench_fig9 [--scale=X] [--json=PATH | --no-json]
+///        (X=1 is the CI-friendly default; results also land in
+///        BENCH_fig9.json at the repo root unless --no-json)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +35,9 @@ using namespace perceus::bench;
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
+  std::string JsonPath = parseJsonPath("fig9", Argc, Argv);
   std::vector<BenchProgram> Programs = figure9Programs(Scale);
+  BenchReport Report("fig9", Scale);
 
   struct Row {
     std::string Name;
@@ -66,6 +70,7 @@ int main(int Argc, char **Argv) {
     for (size_t CI = 0; CI != Programs.size(); ++CI) {
       Measurement M = Rows[RI].Native ? measureNative(Programs[CI])
                                       : measure(Programs[CI], Rows[RI].Config);
+      Report.add(Programs[CI].Name, Rows[RI].Name, M);
       Times[RI].push_back(M.Ran ? M.Seconds : -1);
       Peaks[RI].push_back(
           M.Ran && !Rows[RI].Native ? double(M.PeakBytes) : -1);
@@ -90,5 +95,8 @@ int main(int Argc, char **Argv) {
   for (size_t CI = 0; CI != Programs.size(); ++CI)
     std::printf(" %s=%lld", Programs[CI].Name, (long long)Checksums[CI]);
   std::printf("\n");
+
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return 0;
 }

@@ -12,7 +12,7 @@
 /// for each benchmark — the quantity the static transformations are
 /// designed to minimize.
 ///
-/// Usage: bench_rcops [--scale=X]
+/// Usage: bench_rcops [--scale=X] [--json=PATH | --no-json]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,7 +23,9 @@ using namespace perceus::bench;
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv, 0.2);
+  std::string JsonPath = parseJsonPath("rcops", Argc, Argv);
   std::vector<BenchProgram> Programs = figure9Programs(Scale);
+  BenchReport Report("rcops", Scale);
 
   std::vector<std::pair<std::string, PassConfig>> Configs = {
       {"perceus", PassConfig::perceusFull()},
@@ -41,6 +43,7 @@ int main(int Argc, char **Argv) {
     uint64_t BaselineOps = 0;
     for (const auto &[Name, Config] : Configs) {
       Measurement M = measure(Prog, Config);
+      Report.add(Prog.Name, Name, M);
       if (!M.Ran) {
         std::printf("  %-14s failed\n", Name.c_str());
         continue;
@@ -60,5 +63,7 @@ int main(int Argc, char **Argv) {
       std::printf("\n");
     }
   }
+  if (!JsonPath.empty() && !Report.write(JsonPath))
+    return 1;
   return 0;
 }

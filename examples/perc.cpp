@@ -13,6 +13,10 @@
 ///                     perceus-borrow | scoped-rc | gc
 ///   --entry=NAME      entry function (default: main)
 ///   --stats           print heap/machine statistics after the run
+///   --stats-json=FILE run, then dump heap stats, run stats, and the
+///                     per-site RC event table as JSON to FILE
+///   --pass-stats      print static dup/drop/reuse instruction counts
+///                     after each pipeline pass, then exit
 ///   --dump=FN         print FN after the pipeline instead of running
 ///   --stages=FN       print FN at every Figure 1 pipeline stage
 ///   --fuel=N          trap after N machine steps (out-of-fuel)
@@ -26,10 +30,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "eval/Runner.h"
+#include "eval/StatsJson.h"
 #include "ir/Printer.h"
 #include "lang/Resolver.h"
 #include "perceus/Pipeline.h"
 #include "support/FaultInjector.h"
+#include "support/JsonWriter.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -45,10 +52,11 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: perc FILE.perc [--config=NAME] [--entry=NAME] "
-               "[--stats] [--dump=FN] [--stages=FN]\n"
-               "            [--fuel=N] [--max-depth=N] [--max-heap=N] "
-               "[--max-cells=N] [--alloc-budget=N]\n"
-               "            [--fail-alloc=N] [ARGS...]\n");
+               "[--stats] [--stats-json=FILE] [--pass-stats]\n"
+               "            [--dump=FN] [--stages=FN] "
+               "[--fuel=N] [--max-depth=N] [--max-heap=N]\n"
+               "            [--max-cells=N] [--alloc-budget=N] "
+               "[--fail-alloc=N] [ARGS...]\n");
 }
 
 bool parseCount(const char *A, const char *Flag, uint64_t &Out) {
@@ -66,12 +74,73 @@ bool parseCount(const char *A, const char *Flag, uint64_t &Out) {
   return true;
 }
 
+void printPassStats(const std::vector<PassStat> &Stats) {
+  std::printf("%-34s %6s %6s %6s %7s %8s %7s %7s %6s %7s\n", "pass", "dup",
+              "drop", "free", "decref", "is-uniq", "drop-ru", "con@ru",
+              "token", "nodes");
+  for (const PassStat &S : Stats) {
+    const IrOpCounts &C = S.Counts;
+    std::printf("%-34s %6llu %6llu %6llu %7llu %8llu %7llu %7llu %6llu "
+                "%7llu\n",
+                S.Pass.c_str(), (unsigned long long)C.Dups,
+                (unsigned long long)C.Drops, (unsigned long long)C.Frees,
+                (unsigned long long)C.DecRefs,
+                (unsigned long long)C.IsUniques,
+                (unsigned long long)C.DropReuses,
+                (unsigned long long)C.ReuseCons,
+                (unsigned long long)C.TokenOps, (unsigned long long)C.Nodes);
+  }
+}
+
+bool writeStatsJson(const std::string &Path, const std::string &File,
+                    const std::string &Entry, Runner &R,
+                    const std::vector<int64_t> &Args, const RunResult &Res,
+                    const SiteTableSink &Sites) {
+  JsonWriter W;
+  W.beginObject()
+      .member("schema", "perceus-stats-v1")
+      .member("program", std::string_view(File))
+      .member("entry", std::string_view(Entry))
+      .member("config", R.config().name());
+  W.key("args").beginArray();
+  for (int64_t A : Args)
+    W.value(A);
+  W.endArray();
+  W.member("ok", Res.Ok);
+  W.key("result");
+  if (Res.Ok && Res.Result.Kind == ValueKind::Int)
+    W.value(Res.Result.Int);
+  else if (Res.Ok && Res.Result.Kind == ValueKind::Bool)
+    W.value(Res.Result.asBool());
+  else
+    W.null();
+  W.key("heap");
+  writeHeapStatsJson(W, R.heap().stats());
+  W.key("run");
+  writeRunResultJson(W, Res);
+  W.key("sites");
+  Sites.writeJson(W);
+  W.endObject();
+
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  std::string Text = W.take();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fputc('\n', Out);
+  std::fclose(Out);
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string File, Entry = "main", Dump, Stages;
+  std::string File, Entry = "main", Dump, Stages, StatsJson;
   PassConfig Config = PassConfig::perceusFull();
   bool Stats = false;
+  bool PassStats = false;
   RunLimits Limits;
   uint64_t MaxHeapBytes = 0, FailAlloc = 0;
   std::vector<int64_t> Args;
@@ -102,6 +171,10 @@ int main(int Argc, char **Argv) {
       Stages = A + 9;
     } else if (!std::strcmp(A, "--stats")) {
       Stats = true;
+    } else if (std::strncmp(A, "--stats-json=", 13) == 0) {
+      StatsJson = A + 13;
+    } else if (!std::strcmp(A, "--pass-stats")) {
+      PassStats = true;
     } else if (parseCount(A, "--fuel=", Limits.Fuel) ||
                parseCount(A, "--max-depth=", Limits.MaxCallDepth) ||
                parseCount(A, "--max-heap=", MaxHeapBytes) ||
@@ -131,6 +204,18 @@ int main(int Argc, char **Argv) {
   std::stringstream Buf;
   Buf << In.rdbuf();
   std::string Source = Buf.str();
+
+  if (PassStats) {
+    Program P;
+    DiagnosticEngine Diags;
+    if (!compileSource(Source, P, Diags)) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::printf("config: %s\n", Config.name());
+    printPassStats(runPipelineWithStats(P, Config));
+    return 0;
+  }
 
   if (!Stages.empty()) {
     Program P;
@@ -169,8 +254,16 @@ int main(int Argc, char **Argv) {
   FaultInjector FI = FaultInjector::failNth(FailAlloc);
   if (FailAlloc)
     R.setFaultInjector(&FI);
+  SiteTableSink Sites;
+  if (!StatsJson.empty())
+    R.setStatsSink(&Sites);
 
   RunResult Res = R.callInt(Entry, Args);
+  // The JSON dump is most valuable exactly when something went wrong, so
+  // it is written on trapped runs too.
+  if (!StatsJson.empty() &&
+      !writeStatsJson(StatsJson, File, Entry, R, Args, Res, Sites))
+    return 1;
   if (!Res.Ok) {
     std::fprintf(stderr, "runtime error (%s): %s\n", trapKindName(Res.Trap),
                  Res.Error.c_str());

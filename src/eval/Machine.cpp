@@ -7,6 +7,7 @@
 #include "eval/Machine.h"
 
 #include "support/Casting.h"
+#include "support/Telemetry.h"
 
 using namespace perceus;
 
@@ -67,6 +68,7 @@ void Machine::unwind() {
 RunResult Machine::run(FuncId F, std::vector<Value> Args) {
   RunResult R;
   Run = &R;
+  Sink = H.statsSink();
   Trapped = false;
   CallDepth = 0;
   Locals.clear();
@@ -102,8 +104,12 @@ RunResult Machine::run(FuncId F, std::vector<Value> Args) {
       ResultInspector(Result);
     // The caller of the entry point owns the result; release heap
     // results so a garbage-free run ends with an empty heap.
-    if (Result.isHeap())
+    if (Result.isHeap()) {
+      if (Sink)
+        Sink->setSite(this, "result", SourceLoc{});
+      ++R.Rc.ImplicitDrops;
       H.drop(Result);
+    }
   } else {
     unwind();
   }
@@ -151,6 +157,8 @@ bool Machine::step() {
       const auto *L = cast<LamExpr>(E);
       size_t NCaps = L->captures().size();
       const std::vector<uint32_t> &List = Layout.SlotLists[E->layoutA()];
+      if (Sink)
+        Sink->setSite(E, "lambda", E->loc());
       Cell *C = H.alloc(static_cast<uint32_t>(NCaps + 1), 0,
                         CellKind::Closure);
       if (!C) {
@@ -182,6 +190,9 @@ bool Machine::step() {
       //   val ru = if is-unique(x) then {rc ops; &v} else {rc ops; NULL}
       // executes in one dispatch.
       if (const auto *U = dyn_cast<IsUniqueExpr>(L->bound())) {
+        if (Sink)
+          Sink->setSite(U, "is-unique", U->loc());
+        ++Run->Rc.IsUniques;
         const Expr *Branch = H.isUnique(local(U->layoutA()))
                                  ? U->thenExpr()
                                  : U->elseExpr();
@@ -206,6 +217,9 @@ bool Machine::step() {
       // executes in one dispatch, like the straight-line code a compiler
       // would emit for it.
       if (const auto *U = dyn_cast<IsUniqueExpr>(S->first())) {
+        if (Sink)
+          Sink->setSite(U, "is-unique", U->loc());
+        ++Run->Rc.IsUniques;
         const Expr *Branch = H.isUnique(local(U->layoutA()))
                                  ? U->thenExpr()
                                  : U->elseExpr();
@@ -326,32 +340,48 @@ bool Machine::step() {
 
     //===--- RC instructions ------------------------------------------------//
     case ExprKind::Dup:
+      if (Sink)
+        Sink->setSite(E, "dup", E->loc());
+      ++Run->Rc.Dups;
       H.dup(local(E->layoutA()));
       Code = cast<DupExpr>(E)->rest();
       return true;
     case ExprKind::Drop:
+      if (Sink)
+        Sink->setSite(E, "drop", E->loc());
+      ++Run->Rc.Drops;
       H.drop(local(E->layoutA()));
       Code = cast<DropExpr>(E)->rest();
       return true;
     case ExprKind::Free: {
+      // `free` is memory-only disposal, not an RC operation: it never
+      // reaches the heap's dup/drop/decref API, so it stays outside the
+      // HeapStats classification invariant (tracked in Rc.Frees only).
+      if (Sink)
+        Sink->setSite(E, "free", E->loc());
+      ++Run->Rc.Frees;
       Value V = local(E->layoutA());
       if (V.Kind == ValueKind::HeapRef) {
         H.freeMemoryOnly(V.Ref);
       } else if (V.Kind == ValueKind::Token) {
         if (V.Tok)
           H.freeMemoryOnly(V.Tok);
-      } else {
-        H.stats().NonHeapRcOps += 1;
       }
       Code = cast<FreeExpr>(E)->rest();
       return true;
     }
     case ExprKind::DecRef:
+      if (Sink)
+        Sink->setSite(E, "decref", E->loc());
+      ++Run->Rc.DecRefs;
       H.decref(local(E->layoutA()));
       Code = cast<DecRefExpr>(E)->rest();
       return true;
     case ExprKind::IsUnique: {
       const auto *U = cast<IsUniqueExpr>(E);
+      if (Sink)
+        Sink->setSite(E, "is-unique", E->loc());
+      ++Run->Rc.IsUniques;
       Code = H.isUnique(local(E->layoutA())) ? U->thenExpr() : U->elseExpr();
       return true;
     }
@@ -362,10 +392,16 @@ bool Machine::step() {
         trap("drop-reuse of a non-heap value");
         return false;
       }
+      if (Sink)
+        Sink->setSite(E, "drop-reuse", E->loc());
+      ++Run->Rc.DropReuses;
+      ++Run->Rc.IsUniques; // the probe below is a real is-unique test
       if (H.isUnique(V)) {
+        Run->Rc.ImplicitDrops += V.Ref->H.Arity; // dropChildren drops each
         H.dropChildren(V.Ref);
         local(E->layoutB()) = Value::makeToken(V.Ref);
       } else {
+        ++Run->Rc.ImplicitDecRefs;
         H.decref(V);
         local(E->layoutB()) = Value::makeToken(nullptr);
       }
@@ -392,6 +428,10 @@ bool Machine::step() {
       if (V.Tok == nullptr) {
         // The reuse-specialized fresh path: the pairing missed.
         ++Run->ReuseMisses;
+        if (Sink) {
+          Sink->setSite(E, "is-null-token", E->loc());
+          Sink->record(RcEvent::ReuseMiss, 0);
+        }
         Code = N->thenExpr();
       } else {
         Code = N->elseExpr();
@@ -418,6 +458,10 @@ bool Machine::step() {
       C->H.Tag = static_cast<uint8_t>(P.ctor(T->ctor()).Tag);
       C->H.Kind = CellKind::Ctor;
       ++Run->ReuseHits;
+      if (Sink) {
+        Sink->setSite(E, "token-value", E->loc());
+        Sink->record(RcEvent::ReuseHit, Cell::byteSize(C->H.Arity));
+      }
       Result = Value::makeRef(C);
       Code = nullptr;
       return true;
@@ -598,15 +642,19 @@ void Machine::doCall(size_t OperandBase, SourceLoc Loc) {
 
   if (Lam) {
     // Rule (app_r): dup the captured environment, then drop the closure.
+    if (Sink)
+      Sink->setSite(Lam, "app", Loc);
     const std::vector<uint32_t> &List = Layout.SlotLists[Lam->layoutA()];
     size_t NCaps = Lam->captures().size();
     const uint32_t *Targets = List.data() + NCaps;
     Value *Fields = Closure->fields();
     for (size_t I = 0; I != NCaps; ++I) {
       Value Cap = Fields[1 + I];
+      ++Run->Rc.ImplicitDups;
       H.dup(Cap);
       Locals[NewBase + Targets[I]] = Cap;
     }
+    ++Run->Rc.ImplicitDrops;
     H.drop(Value::makeRef(Closure));
   }
 
@@ -616,6 +664,8 @@ void Machine::doCall(size_t OperandBase, SourceLoc Loc) {
 void Machine::finishCon(const ConExpr *C, size_t OperandBase) {
   const CtorDecl &D = P.ctor(C->ctor());
   Cell *Cl = nullptr;
+  if (Sink)
+    Sink->setSite(C, C->hasReuseToken() ? "con@ru" : "con", C->loc());
   if (C->hasReuseToken()) {
     Value Tok = local(C->layoutA());
     if (Tok.Kind != ValueKind::Token) {
@@ -629,8 +679,12 @@ void Machine::finishCon(const ConExpr *C, size_t OperandBase) {
       Cl->H.Tag = static_cast<uint8_t>(D.Tag);
       Cl->H.Kind = CellKind::Ctor;
       ++Run->ReuseHits;
+      if (Sink)
+        Sink->record(RcEvent::ReuseHit, Cell::byteSize(D.Arity));
     } else {
       ++Run->ReuseMisses;
+      if (Sink)
+        Sink->record(RcEvent::ReuseMiss, 0);
     }
   }
   if (!Cl) {
@@ -784,7 +838,10 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
   }
   case PrimOp::MarkShared: {
     // tshare consumes its argument (the reference is transferred in).
+    if (Sink)
+      Sink->setSite(Pr, "tshare", Pr->loc());
     H.markShared(arg(0));
+    ++Run->Rc.ImplicitDrops;
     H.drop(arg(0));
     break;
   }
@@ -793,6 +850,8 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
     return;
   case PrimOp::RefNew: {
     // Ownership of the content moves into the cell.
+    if (Sink)
+      Sink->setSite(Pr, "ref-new", Pr->loc());
     Cell *C = H.alloc(1, 0, CellKind::Ref);
     if (!C) {
       trap("out of memory allocating a reference", TrapKind::OutOfMemory);
@@ -812,7 +871,11 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
     // The paper's read: dup the content, then release the handle. (Our
     // machine is single-threaded; Section 2.7.3's dup/write race needs
     // the atomic path only under concurrent mutation.)
+    if (Sink)
+      Sink->setSite(Pr, "ref-get", Pr->loc());
+    ++Run->Rc.ImplicitDups;
     H.dup(Out);
+    ++Run->Rc.ImplicitDrops;
     H.drop(R);
     break;
   }
@@ -824,6 +887,9 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
     }
     Value Old = R.Ref->fields()[0];
     R.Ref->fields()[0] = arg(1); // content ownership moves in
+    if (Sink)
+      Sink->setSite(Pr, "ref-set", Pr->loc());
+    Run->Rc.ImplicitDrops += 2;
     H.drop(Old);
     H.drop(R); // release the handle
     break;
@@ -879,15 +945,27 @@ void Machine::runRcChain(const Expr *E, const Expr *End) {
     Value V = local(R->layoutA());
     switch (E->kind()) {
     case ExprKind::Dup:
+      if (Sink)
+        Sink->setSite(E, "dup", E->loc());
+      ++Run->Rc.Dups;
       H.dup(V);
       break;
     case ExprKind::Drop:
+      if (Sink)
+        Sink->setSite(E, "drop", E->loc());
+      ++Run->Rc.Drops;
       H.drop(V);
       break;
     case ExprKind::DecRef:
+      if (Sink)
+        Sink->setSite(E, "decref", E->loc());
+      ++Run->Rc.DecRefs;
       H.decref(V);
       break;
     default: // Free
+      if (Sink)
+        Sink->setSite(E, "free", E->loc());
+      ++Run->Rc.Frees;
       if (V.Kind == ValueKind::HeapRef)
         H.freeMemoryOnly(V.Ref);
       else if (V.Kind == ValueKind::Token && V.Tok)

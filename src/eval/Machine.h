@@ -51,6 +51,37 @@ enum class TrapKind : uint8_t {
 /// Short stable name ("ok", "out-of-memory", ...) for messages/tables.
 const char *trapKindName(TrapKind K);
 
+/// How many RC operations the machine issued against the heap, counted
+/// at the machine side so tests can cross-check them against the heap's
+/// classification counters (see the invariant on HeapStats). The
+/// explicit counters tally instructions in the instrumented IR; the
+/// Implicit* counters tally heap calls the machine makes on its own
+/// behalf — closure application (rule app_r: dup each capture, drop the
+/// closure), ref cell primitives, tshare's consuming drop, the final
+/// heap-result release, and drop-reuse's expansion (dropChildren on the
+/// unique path, decref on the shared path). By construction:
+///
+///   heap dup calls    == Dups + ImplicitDups
+///   heap drop calls   == Drops + ImplicitDrops
+///   heap decref calls == DecRefs + ImplicitDecRefs
+///   heap is-unique calls == IsUniques
+struct RcInstrCounts {
+  uint64_t Dups = 0;       ///< dup instructions executed
+  uint64_t Drops = 0;      ///< drop instructions executed
+  uint64_t Frees = 0;      ///< free instructions executed (memory-only)
+  uint64_t DecRefs = 0;    ///< decref instructions executed
+  uint64_t IsUniques = 0;  ///< is-unique tests executed (all forms)
+  uint64_t DropReuses = 0; ///< drop-reuse instructions executed
+  uint64_t ImplicitDups = 0;
+  uint64_t ImplicitDrops = 0;
+  uint64_t ImplicitDecRefs = 0;
+
+  uint64_t totalCalls() const {
+    return Dups + ImplicitDups + Drops + ImplicitDrops + DecRefs +
+           ImplicitDecRefs + IsUniques;
+  }
+};
+
 /// Per-run execution statistics and results.
 struct RunResult {
   bool Ok = false;
@@ -65,6 +96,7 @@ struct RunResult {
   uint64_t TailCalls = 0;  ///< frame-reusing calls
   uint64_t MaxStackDepth = 0; ///< high-water mark of the locals stack
   uint64_t UnwoundCells = 0;  ///< cells reclaimed by the trap unwind
+  RcInstrCounts Rc;        ///< machine-side RC operation counts
 };
 
 /// Executes programs; see the file comment.
@@ -134,6 +166,7 @@ private:
   std::vector<Kont> Konts;
 
   RunResult *Run = nullptr;
+  StatsSink *Sink = nullptr; // cached from H.statsSink() at run() entry
   uint64_t StepLimit = 0;
   uint64_t CallDepthLimit = 0;
   uint64_t CallDepth = 0; // live non-tail (Ret) frames

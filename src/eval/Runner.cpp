@@ -82,3 +82,9 @@ void Runner::setFaultInjector(FaultInjector *FI) {
     return;
   TheHeap->setFaultInjector(FI);
 }
+
+void Runner::setStatsSink(StatsSink *S) {
+  if (!Ok)
+    return;
+  TheHeap->setStatsSink(S);
+}

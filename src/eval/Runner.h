@@ -28,6 +28,7 @@
 namespace perceus {
 
 class FaultInjector;
+class StatsSink;
 
 /// Resource limits for one Runner: heap governor plus machine fuel and
 /// call depth. Zero fields mean "unlimited"; the default is the
@@ -80,6 +81,11 @@ public:
 
   /// Installs a fault injector on the heap (non-owning; null uninstalls).
   void setFaultInjector(FaultInjector *FI);
+
+  /// Installs a telemetry sink on the heap (non-owning; null uninstalls).
+  /// The machine picks it up at the start of the next run and attributes
+  /// every RC/alloc/reuse event to its IR site.
+  void setStatsSink(StatsSink *S);
 
 private:
   void finishSetup(size_t GcThresholdBytes);

@@ -1,0 +1,59 @@
+//===- eval/StatsJson.cpp - JSON emission of runtime statistics -----------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/StatsJson.h"
+
+#include "eval/Machine.h"
+#include "support/JsonWriter.h"
+
+namespace perceus {
+
+void writeHeapStatsJson(JsonWriter &W, const HeapStats &S) {
+  W.beginObject()
+      .member("allocs", S.Allocs)
+      .member("frees", S.Frees)
+      .member("dup_ops", S.DupOps)
+      .member("drop_ops", S.DropOps)
+      .member("decref_ops", S.DecRefOps)
+      .member("non_heap_rc_ops", S.NonHeapRcOps)
+      .member("atomic_rc_ops", S.AtomicRcOps)
+      .member("is_unique_tests", S.IsUniqueTests)
+      .member("collections", S.Collections)
+      .member("failed_allocs", S.FailedAllocs)
+      .member("emergency_collections", S.EmergencyCollections)
+      .member("unwind_frees", S.UnwindFrees)
+      .member("live_bytes", S.LiveBytes)
+      .member("peak_bytes", S.PeakBytes)
+      .member("live_cells", S.LiveCells)
+      .endObject();
+}
+
+void writeRunResultJson(JsonWriter &W, const RunResult &R) {
+  W.beginObject()
+      .member("ok", R.Ok)
+      .member("trap", trapKindName(R.Trap))
+      .member("steps", R.Steps)
+      .member("reuse_hits", R.ReuseHits)
+      .member("reuse_misses", R.ReuseMisses)
+      .member("tail_calls", R.TailCalls)
+      .member("max_stack_depth", R.MaxStackDepth)
+      .member("unwound_cells", R.UnwoundCells);
+  W.key("rc_instrs")
+      .beginObject()
+      .member("dups", R.Rc.Dups)
+      .member("drops", R.Rc.Drops)
+      .member("frees", R.Rc.Frees)
+      .member("decrefs", R.Rc.DecRefs)
+      .member("is_uniques", R.Rc.IsUniques)
+      .member("drop_reuses", R.Rc.DropReuses)
+      .member("implicit_dups", R.Rc.ImplicitDups)
+      .member("implicit_drops", R.Rc.ImplicitDrops)
+      .member("implicit_decrefs", R.Rc.ImplicitDecRefs)
+      .endObject();
+  W.endObject();
+}
+
+} // namespace perceus

@@ -33,12 +33,139 @@ const char *PassConfig::name() const {
   return "perceus-custom";
 }
 
-void perceus::runPipeline(Program &P, const PassConfig &Config) {
+IrOpCounts perceus::countIrOps(const Program &P) {
+  IrOpCounts C;
+  std::vector<const Expr *> Work;
+  auto push = [&Work](const Expr *E) {
+    if (E)
+      Work.push_back(E);
+  };
+  for (FuncId F = 0; F != P.numFunctions(); ++F)
+    push(P.function(F).Body);
+  while (!Work.empty()) {
+    const Expr *E = Work.back();
+    Work.pop_back();
+    ++C.Nodes;
+    switch (E->kind()) {
+    case ExprKind::Lit:
+    case ExprKind::Var:
+    case ExprKind::Global:
+      break;
+    case ExprKind::Lam:
+      push(cast<LamExpr>(E)->body());
+      break;
+    case ExprKind::App: {
+      const auto *A = cast<AppExpr>(E);
+      push(A->fn());
+      for (const Expr *Arg : A->args())
+        push(Arg);
+      break;
+    }
+    case ExprKind::Let: {
+      const auto *L = cast<LetExpr>(E);
+      push(L->bound());
+      push(L->body());
+      break;
+    }
+    case ExprKind::Seq: {
+      const auto *S = cast<SeqExpr>(E);
+      push(S->first());
+      push(S->second());
+      break;
+    }
+    case ExprKind::If: {
+      const auto *I = cast<IfExpr>(E);
+      push(I->cond());
+      push(I->thenExpr());
+      push(I->elseExpr());
+      break;
+    }
+    case ExprKind::Match:
+      for (const MatchArm &Arm : cast<MatchExpr>(E)->arms())
+        push(Arm.Body);
+      break;
+    case ExprKind::Con: {
+      const auto *Con = cast<ConExpr>(E);
+      if (Con->hasReuseToken())
+        ++C.ReuseCons;
+      for (const Expr *Arg : Con->args())
+        push(Arg);
+      break;
+    }
+    case ExprKind::Prim:
+      for (const Expr *Arg : cast<PrimExpr>(E)->args())
+        push(Arg);
+      break;
+    case ExprKind::Dup:
+      ++C.Dups;
+      push(cast<RcStmtExpr>(E)->rest());
+      break;
+    case ExprKind::Drop:
+      ++C.Drops;
+      push(cast<RcStmtExpr>(E)->rest());
+      break;
+    case ExprKind::Free:
+      ++C.Frees;
+      push(cast<RcStmtExpr>(E)->rest());
+      break;
+    case ExprKind::DecRef:
+      ++C.DecRefs;
+      push(cast<RcStmtExpr>(E)->rest());
+      break;
+    case ExprKind::IsUnique: {
+      ++C.IsUniques;
+      const auto *U = cast<IsUniqueExpr>(E);
+      push(U->thenExpr());
+      push(U->elseExpr());
+      break;
+    }
+    case ExprKind::DropReuse:
+      ++C.DropReuses;
+      push(cast<DropReuseExpr>(E)->rest());
+      break;
+    case ExprKind::ReuseAddr:
+    case ExprKind::NullToken:
+      ++C.TokenOps;
+      break;
+    case ExprKind::IsNullToken: {
+      ++C.TokenOps;
+      const auto *N = cast<IsNullTokenExpr>(E);
+      push(N->thenExpr());
+      push(N->elseExpr());
+      break;
+    }
+    case ExprKind::SetField: {
+      ++C.TokenOps;
+      const auto *S = cast<SetFieldExpr>(E);
+      push(S->value());
+      push(S->rest());
+      break;
+    }
+    case ExprKind::TokenValue:
+      ++C.TokenOps;
+      break;
+    }
+  }
+  return C;
+}
+
+namespace {
+
+/// Shared pass sequencing for runPipeline and runPipelineWithStats;
+/// \p Stats is null on the plain (no-snapshot) path.
+void runPasses(Program &P, const PassConfig &Config,
+               std::vector<PassStat> *Stats) {
+  auto snap = [&](const char *Pass) {
+    if (Stats)
+      Stats->push_back({Pass, countIrOps(P)});
+  };
+  snap("input");
   switch (Config.Mode) {
   case RcMode::None:
     return; // erased program: the tracing collector manages memory
   case RcMode::Scoped:
     insertScopedRc(P);
+    snap("scoped rc insertion (2.2)");
     return;
   case RcMode::Perceus:
     break;
@@ -46,17 +173,40 @@ void perceus::runPipeline(Program &P, const PassConfig &Config) {
   if (Config.EnableBorrow) {
     BorrowSignatures Sigs = inferBorrowSignatures(P);
     insertPerceus(P, &Sigs);
+    snap("perceus insertion + borrow (6)");
   } else {
     insertPerceus(P);
+    snap("perceus insertion (2.2)");
   }
-  if (Config.EnableReuse)
+  if (Config.EnableReuse) {
     runReuseAnalysis(P);
-  if (Config.EnableReuse && Config.EnableReuseSpec)
+    snap("reuse analysis (2.4)");
+  }
+  if (Config.EnableReuse && Config.EnableReuseSpec) {
     runReuseSpecialization(P);
-  if (Config.EnableDropSpec)
+    snap("reuse specialization (2.5)");
+  }
+  if (Config.EnableDropSpec) {
     runDropSpecialization(P);
-  if (Config.EnableFusion)
+    snap("drop specialization (2.3)");
+  }
+  if (Config.EnableFusion) {
     runFusion(P);
+    snap("dup push-down + fusion (2.3)");
+  }
+}
+
+} // namespace
+
+void perceus::runPipeline(Program &P, const PassConfig &Config) {
+  runPasses(P, Config, nullptr);
+}
+
+std::vector<PassStat> perceus::runPipelineWithStats(Program &P,
+                                                    const PassConfig &Config) {
+  std::vector<PassStat> Stats;
+  runPasses(P, Config, &Stats);
+  return Stats;
 }
 
 std::vector<StageDump> perceus::runPipelineWithStages(Program &P, FuncId F) {

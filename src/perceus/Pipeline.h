@@ -84,6 +84,41 @@ struct PassConfig {
 /// Runs the configured pipeline over all functions of \p P.
 void runPipeline(Program &P, const PassConfig &Config);
 
+/// Static instruction counts over a whole program's IR — the per-pass
+/// pipeline statistics behind `perc --pass-stats`. "Static" means
+/// occurrences in the IR, not executions; the dynamic counterpart lives
+/// in HeapStats / RunResult.
+struct IrOpCounts {
+  uint64_t Dups = 0;       ///< dup instructions
+  uint64_t Drops = 0;      ///< drop instructions
+  uint64_t Frees = 0;      ///< free instructions
+  uint64_t DecRefs = 0;    ///< decref instructions
+  uint64_t IsUniques = 0;  ///< is-unique tests
+  uint64_t DropReuses = 0; ///< drop-reuse bindings
+  uint64_t ReuseCons = 0;  ///< Con@ru constructors
+  uint64_t TokenOps = 0;   ///< &x / NULL / token tests / field writes /
+                           ///< token values
+  uint64_t Nodes = 0;      ///< all expression nodes
+
+  uint64_t rcTotal() const {
+    return Dups + Drops + Frees + DecRefs + IsUniques + DropReuses;
+  }
+};
+
+/// Walks every function body of \p P once.
+IrOpCounts countIrOps(const Program &P);
+
+/// The static counts captured after one pipeline stage.
+struct PassStat {
+  std::string Pass;  ///< "input", "perceus insertion (2.2)", ...
+  IrOpCounts Counts; ///< program-wide counts after the stage ran
+};
+
+/// Like runPipeline, but snapshots countIrOps before the first pass
+/// ("input") and after each pass that actually ran.
+std::vector<PassStat> runPipelineWithStats(Program &P,
+                                           const PassConfig &Config);
+
 /// One captured intermediate stage of the pipeline for one function.
 struct StageDump {
   std::string Stage; ///< e.g. "dup/drop insertion (2.2)"

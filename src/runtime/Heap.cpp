@@ -7,6 +7,7 @@
 #include "runtime/Heap.h"
 
 #include "support/FaultInjector.h"
+#include "support/Telemetry.h"
 
 #include <climits>
 #include <cstring>
@@ -69,10 +70,14 @@ Cell *Heap::alloc(uint32_t Arity, uint32_t Tag, CellKind Kind) {
     Stats.PeakBytes = Stats.LiveBytes;
   if (Mode == HeapMode::Gc)
     AllCells.push_back(C);
+  if (Sink)
+    Sink->record(RcEvent::Alloc, Cell::byteSize(Arity));
   return C;
 }
 
 void Heap::release(Cell *C) {
+  if (Sink)
+    Sink->record(RcEvent::Free, Cell::byteSize(C->H.Arity));
   ++Stats.Frees;
   --Stats.LiveCells;
   Stats.LiveBytes -= Cell::byteSize(C->H.Arity);
@@ -122,9 +127,10 @@ bool Heap::governedAllocAllowed(uint32_t Arity) {
 }
 
 void Heap::dup(Value V) {
-  if (Mode == HeapMode::Gc)
-    return; // tracing configuration: reference counts are unused
-  if (!V.isHeap()) {
+  if (Sink)
+    Sink->record(RcEvent::DupCall, 0);
+  if (Mode == HeapMode::Gc || !V.isHeap()) {
+    // No-op: tracing configuration has no counts, immediates carry none.
     ++Stats.NonHeapRcOps;
     return;
   }
@@ -137,10 +143,11 @@ void Heap::dup(Value V) {
     return;
   }
   // Thread-shared: the count is negative; incrementing the count means
-  // subtracting one, atomically. The sticky value stays untouched.
-  ++Stats.AtomicRcOps;
+  // subtracting one, atomically. The sticky value stays untouched — and
+  // since no RMW executes for it, it does not count as an atomic op.
   if (Rc == StickyRc)
     return;
+  ++Stats.AtomicRcOps;
   C->H.Rc.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -159,9 +166,10 @@ void Heap::dropRef(Cell *C) {
     }
     if (Rc < 0) {
       // Thread-shared slow path (single fused `rc <= 1` test, 2.7.2).
-      ++Stats.AtomicRcOps;
+      // Sticky counts are never updated, so no atomic op is recorded.
       if (Rc == StickyRc)
         continue;
+      ++Stats.AtomicRcOps;
       if (Cur->H.Rc.fetch_add(1, std::memory_order_acq_rel) != -1)
         continue;
       // The count reached zero: fall through and free.
@@ -176,9 +184,9 @@ void Heap::dropRef(Cell *C) {
 }
 
 void Heap::drop(Value V) {
-  if (Mode == HeapMode::Gc)
-    return; // tracing configuration: reference counts are unused
-  if (!V.isHeap()) {
+  if (Sink)
+    Sink->record(RcEvent::DropCall, 0);
+  if (Mode == HeapMode::Gc || !V.isHeap()) {
     ++Stats.NonHeapRcOps;
     return;
   }
@@ -187,9 +195,9 @@ void Heap::drop(Value V) {
 }
 
 void Heap::decref(Value V) {
-  if (Mode == HeapMode::Gc)
-    return; // tracing configuration: reference counts are unused
-  if (!V.isHeap()) {
+  if (Sink)
+    Sink->record(RcEvent::DecRefCall, 0);
+  if (Mode == HeapMode::Gc || !V.isHeap()) {
     ++Stats.NonHeapRcOps;
     return;
   }
@@ -201,11 +209,13 @@ void Heap::decref(Value V) {
     C->H.Rc.store(Rc - 1, std::memory_order_relaxed);
     return;
   }
+  // A sticky count is pinned: no RMW executes, so nothing atomic to
+  // count (this used to bump AtomicRcOps before the early-out).
+  if (Rc == StickyRc)
+    return;
   // Thread-shared: is-unique is always false for shared cells, so a
   // shared count of 1 can reach a decref; free in that case.
   ++Stats.AtomicRcOps;
-  if (Rc == StickyRc)
-    return;
   if (C->H.Rc.fetch_add(1, std::memory_order_acq_rel) == -1) {
     Value *Fields = C->fields();
     for (uint32_t I = 0; I != C->H.Arity; ++I)
@@ -216,9 +226,15 @@ void Heap::decref(Value V) {
 }
 
 bool Heap::isUnique(Value V) {
-  ++Stats.IsUniqueTests;
-  if (!V.isHeap())
+  if (Sink)
+    Sink->record(RcEvent::IsUniqueCall, 0);
+  if (Mode == HeapMode::Gc || !V.isHeap()) {
+    // Nothing is tested: classify with the other no-op RC operations
+    // rather than inflating IsUniqueTests.
+    ++Stats.NonHeapRcOps;
     return false;
+  }
+  ++Stats.IsUniqueTests;
   return V.Ref->H.Rc.load(std::memory_order_acquire) == 1;
 }
 

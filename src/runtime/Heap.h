@@ -39,6 +39,7 @@ enum class HeapMode : uint8_t {
 };
 
 class FaultInjector;
+class StatsSink;
 
 /// Resource-governor limits. A zero field means "unlimited"; the default
 /// value imposes no limits at all, and the governed checks are skipped
@@ -55,13 +56,26 @@ struct HeapLimits {
 };
 
 /// Counters the benchmarks and tests read.
+///
+/// Classification invariant: every call of `dup`/`drop`/`decref`/
+/// `isUnique` increments exactly one of DupOps, DropOps, DecRefOps,
+/// IsUniqueTests, or NonHeapRcOps. A call lands in NonHeapRcOps when it
+/// was a no-op — the operand is a non-heap immediate, or the heap is in
+/// GC mode where RC state does not exist. Consequently
+/// `DupOps + DropOps + DecRefOps + IsUniqueTests + NonHeapRcOps` equals
+/// the number of RC operations the machine issued, which
+/// tests/runtime/stats_invariant_test.cpp cross-checks against the
+/// machine's own instruction counts for every program × config.
+/// AtomicRcOps additionally counts calls (never extra operations) whose
+/// RC update had to be an atomic RMW — a sticky count is never updated,
+/// so it does not count.
 struct HeapStats {
   uint64_t Allocs = 0;        ///< cells allocated (fresh, not reused)
   uint64_t Frees = 0;         ///< cells released
   uint64_t DupOps = 0;        ///< executed dups on heap values
   uint64_t DropOps = 0;       ///< executed drops on heap values
   uint64_t DecRefOps = 0;     ///< executed decrefs
-  uint64_t NonHeapRcOps = 0;  ///< rc instructions that were no-ops
+  uint64_t NonHeapRcOps = 0;  ///< rc ops that were no-ops (see invariant)
   uint64_t AtomicRcOps = 0;   ///< rc updates that had to be atomic
   uint64_t IsUniqueTests = 0; ///< executed is-unique tests
   uint64_t Collections = 0;   ///< tracing GC runs
@@ -110,6 +124,15 @@ public:
     Injector = FI;
     updateGoverned();
   }
+
+  //===--- Telemetry --------------------------------------------------------//
+
+  /// Installs a telemetry sink (non-owning; null uninstalls). When set,
+  /// every dup/drop/decref/is-unique call and every alloc/free is
+  /// reported to it before classification; when null (the default) each
+  /// event site is a single predicted-false branch, like the governor.
+  void setStatsSink(StatsSink *S) { Sink = S; }
+  StatsSink *statsSink() const { return Sink; }
 
   /// Increments the reference count of \p V (no-op on immediates).
   void dup(Value V);
@@ -195,6 +218,7 @@ private:
   HeapLimits Limits;
   FaultInjector *Injector = nullptr;
   bool Governed = false;
+  StatsSink *Sink = nullptr;
 
   // Bump-allocated slabs.
   std::vector<std::unique_ptr<char[]>> Slabs;

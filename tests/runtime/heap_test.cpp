@@ -7,6 +7,7 @@
 #include "runtime/Heap.h"
 
 #include "support/FaultInjector.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -189,7 +190,10 @@ TEST(Heap, IsUnique) {
   H.drop(V);
   EXPECT_TRUE(H.isUnique(V));
   EXPECT_FALSE(H.isUnique(Value::makeInt(3)));
-  EXPECT_EQ(H.stats().IsUniqueTests, 4u);
+  // The immediate was never actually count-tested: it classifies as a
+  // non-heap RC op, not an is-unique test.
+  EXPECT_EQ(H.stats().IsUniqueTests, 3u);
+  EXPECT_EQ(H.stats().NonHeapRcOps, 1u);
   H.drop(V);
 }
 
@@ -355,6 +359,150 @@ TEST(Heap, StickyCellIgnoresDecRef) {
   EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN);
   EXPECT_EQ(H.stats().LiveCells, 1u);
   H.freeMemoryOnly(V.Ref); // test cleanup
+}
+
+TEST(Heap, StickyDecRefCountsNoAtomicOp) {
+  // The sticky early-out performs no RMW, so it must not count as an
+  // atomic op (it used to be counted before the check).
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MIN, std::memory_order_relaxed);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.decref(V);
+  H.decref(V);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0);
+  // The calls still classify: each is one decref op.
+  EXPECT_EQ(H.stats().DecRefOps, 2u);
+  H.freeMemoryOnly(V.Ref);
+}
+
+TEST(Heap, StickyDupDropCountNoAtomicOps) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MIN, std::memory_order_relaxed);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.dup(V);
+  H.drop(V);
+  H.drop(V);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0);
+  EXPECT_EQ(H.stats().DupOps, 1u);
+  EXPECT_EQ(H.stats().DropOps, 2u);
+  H.freeMemoryOnly(V.Ref);
+}
+
+TEST(Heap, MarkSharedTerminatesOnKnottedCycle) {
+  // A knotted ref cycle (a -> b -> a) must not loop forever: the
+  // negative count doubles as the visited mark.
+  Heap H;
+  Cell *A = H.alloc(1, 0, CellKind::Ctor);
+  Cell *B = H.alloc(1, 0, CellKind::Ctor);
+  A->fields()[0] = Value::makeRef(B);
+  B->fields()[0] = Value::makeRef(A);
+  H.markShared(Value::makeRef(A));
+  EXPECT_EQ(A->H.Rc.load(), -1);
+  EXPECT_EQ(B->H.Rc.load(), -1);
+  H.markShared(Value::makeRef(A)); // idempotent on the cycle too
+  EXPECT_EQ(A->H.Rc.load(), -1);
+  EXPECT_EQ(B->H.Rc.load(), -1);
+  H.freeMemoryOnly(A); // the knot cannot be dropped; test cleanup
+  H.freeMemoryOnly(B);
+}
+
+TEST(Heap, StickyCellStaysStickyThroughSharingAndRcOps) {
+  Heap H;
+  Cell *Child = H.alloc(0, 0, CellKind::Ctor);
+  Child->H.Rc.store(INT32_MIN, std::memory_order_relaxed);
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Value::makeRef(Child);
+  Value V = Value::makeRef(Parent);
+  H.markShared(V); // sticky is negative: the walk must leave it alone
+  EXPECT_EQ(Parent->H.Rc.load(), -1);
+  EXPECT_EQ(Child->H.Rc.load(), INT32_MIN);
+  Value CV = Value::makeRef(Child);
+  H.dup(CV);
+  H.drop(CV);
+  H.drop(CV);
+  H.decref(CV);
+  EXPECT_EQ(Child->H.Rc.load(), INT32_MIN);
+  EXPECT_FALSE(H.isUnique(CV)) << "sticky is shared, never unique";
+  H.freeMemoryOnly(Parent); // cleanup (parent's child ref is sticky)
+  H.freeMemoryOnly(Child);
+}
+
+TEST(HeapGc, GcModeRcOpsClassifyAsNonHeap) {
+  // In the tracing configuration every RC entry point is a no-op, and
+  // each call classifies as exactly one non-heap RC op — not as a
+  // dup/drop/decref/is-unique.
+  Heap H(HeapMode::Gc);
+  Value V = mkCell(H, 0);
+  H.dup(V);
+  H.drop(V);
+  H.decref(V);
+  EXPECT_FALSE(H.isUnique(V));
+  EXPECT_EQ(H.stats().DupOps, 0u);
+  EXPECT_EQ(H.stats().DropOps, 0u);
+  EXPECT_EQ(H.stats().DecRefOps, 0u);
+  EXPECT_EQ(H.stats().IsUniqueTests, 0u);
+  EXPECT_EQ(H.stats().NonHeapRcOps, 4u);
+}
+
+//===--- Telemetry sink ------------------------------------------------------//
+
+TEST(HeapTelemetry, SinkSeesEveryRcCallAndAllocFree) {
+  Heap H;
+  CountingSink Sink;
+  H.setStatsSink(&Sink);
+  Value V = mkCell(H, 1);
+  H.dup(V);                 // rc 2
+  H.dup(Value::makeInt(3)); // non-heap calls are events too
+  EXPECT_TRUE(!H.isUnique(V));
+  H.decref(V); // rc 1 (decref never frees a thread-local cell)
+  H.drop(V);   // rc 0: freed
+  EXPECT_EQ(Sink.count(RcEvent::Alloc), 1u);
+  EXPECT_EQ(Sink.count(RcEvent::DupCall), 2u);
+  EXPECT_EQ(Sink.count(RcEvent::IsUniqueCall), 1u);
+  EXPECT_EQ(Sink.count(RcEvent::DropCall), 1u);
+  EXPECT_EQ(Sink.count(RcEvent::DecRefCall), 1u);
+  EXPECT_EQ(Sink.count(RcEvent::Free), 1u);
+  EXPECT_TRUE(H.empty());
+  // Sum over classification counters equals the sink's call events.
+  const HeapStats &S = H.stats();
+  EXPECT_EQ(S.DupOps + S.DropOps + S.DecRefOps + S.IsUniqueTests +
+                S.NonHeapRcOps,
+            Sink.totalRcCalls());
+  H.setStatsSink(nullptr);
+}
+
+TEST(HeapTelemetry, ReuseKeepsShadowByteLedgerExact) {
+  // The drop-reuse -> Con@ru sequence at the heap level: children are
+  // dropped, the cell itself is neither freed nor reallocated, and its
+  // fields are overwritten in place. Live bytes must track only real
+  // allocs and frees, and the peak stays monotone.
+  Heap H;
+  CountingSink Sink;
+  H.setStatsSink(&Sink);
+  Value A = mkCell(H, 0);
+  Value B = mkCell(H, 0);
+  Cell *Parent = H.alloc(2, 0, CellKind::Ctor);
+  Parent->fields()[0] = A;
+  Parent->fields()[1] = B;
+  size_t PeakBefore = H.stats().PeakBytes;
+  size_t LiveParentOnly = Cell::byteSize(2);
+
+  H.dropChildren(Parent); // drop-reuse unique path: children freed
+  EXPECT_EQ(H.stats().LiveBytes, LiveParentOnly);
+  // Con@ru: write fresh fields into the reused cell — no heap calls.
+  Parent->fields()[0] = Value::makeInt(1);
+  Parent->fields()[1] = Value::makeInt(2);
+  EXPECT_EQ(H.stats().LiveBytes, LiveParentOnly) << "reuse must not move "
+                                                    "live bytes";
+  EXPECT_EQ(H.stats().PeakBytes, PeakBefore) << "peak is monotone";
+  EXPECT_EQ(Sink.shadowLiveBytes(), H.stats().LiveBytes);
+  EXPECT_EQ(Sink.shadowPeakBytes(), H.stats().PeakBytes);
+  H.drop(Value::makeRef(Parent));
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(Sink.shadowLiveBytes(), 0u);
+  H.setStatsSink(nullptr);
 }
 
 //===--- Resource governor ---------------------------------------------------//
