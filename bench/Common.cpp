@@ -231,7 +231,8 @@ std::string perceus::bench::validateBenchJson(std::string_view Text) {
       "peak_bytes",      "live_cells"};
   static const char *RunKeys[] = {"steps",      "reuse_hits",
                                   "reuse_misses", "tail_calls",
-                                  "max_stack_depth", "unwound_cells"};
+                                  "max_stack_depth", "max_call_depth",
+                                  "max_locals_slots", "unwound_cells"};
   static const char *RcKeys[] = {"dups",       "drops",         "frees",
                                  "decrefs",    "is_uniques",
                                  "drop_reuses", "implicit_dups",

@@ -61,7 +61,7 @@ int main(int Argc, char **Argv) {
     std::printf("  %-22s %9.3fs %12llu %12llu %14lld %10llu\n", Entry,
                 M.Seconds, (unsigned long long)M.Heap.Allocs,
                 (unsigned long long)M.Run.ReuseHits, (long long)NetAllocs,
-                (unsigned long long)M.Run.MaxStackDepth);
+                (unsigned long long)M.Run.MaxLocalsSlots);
   }
 
   {

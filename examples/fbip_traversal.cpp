@@ -57,7 +57,7 @@ int main() {
               (unsigned long long)Fbip.ReuseHits);
   std::printf("  peak machine stack (slots)        : %llu "
               "(constant: all calls are tail calls)\n",
-              (unsigned long long)Fbip.MaxStackDepth);
+              (unsigned long long)Fbip.MaxLocalsSlots);
   std::printf("  tail calls                        : %llu\n",
               (unsigned long long)Fbip.TailCalls);
 
@@ -68,7 +68,7 @@ int main() {
   std::printf("%-34s checksum=%lld, peak stack %llu slots\n",
               "Naive recursion (for contrast):",
               (long long)Naive.Result.Int,
-              (unsigned long long)Naive.MaxStackDepth);
+              (unsigned long long)Naive.MaxLocalsSlots);
 
   // The stack contrast is starkest on a degenerate tree: a right spine
   // of 50000 nodes (Knuth's challenge: traverse with no extra space).
@@ -79,10 +79,10 @@ int main() {
   RunResult SpineN = R4.callInt("bench_spine_naive", {SpineLen});
   std::printf("\nRight spine of %lld nodes:\n", (long long)SpineLen);
   std::printf("  FBIP visitor peak stack  : %llu slots (constant)\n",
-              (unsigned long long)SpineF.MaxStackDepth);
+              (unsigned long long)SpineF.MaxLocalsSlots);
   std::printf("  naive recursion          : %llu slots (grows with the "
               "spine)\n",
-              (unsigned long long)SpineN.MaxStackDepth);
+              (unsigned long long)SpineN.MaxLocalsSlots);
 
   bool Agree = Fbip.Result.Int == Native && Naive.Result.Int == Native &&
                SpineF.Result.Int == SpineN.Result.Int;

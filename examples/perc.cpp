@@ -25,6 +25,12 @@
 ///   --max-cells=N     trap when live heap would exceed N cells
 ///   --alloc-budget=N  trap after N allocations (heap lifetime)
 ///   --fail-alloc=N    fault injection: fail the Nth allocation
+///   --workers=N       run N machine instances concurrently, each with a
+///                     private heap (the parallel engine, src/parallel)
+///   --shared-input=FN build FN's result once, mark it thread-shared
+///                     (tshare), and pass it as the entry's last argument
+///   --shared-arg=N    integer argument for the shared-input builder
+///                     (repeatable)
 ///   ARGS              integer arguments for the entry function
 ///
 //===----------------------------------------------------------------------===//
@@ -33,6 +39,7 @@
 #include "eval/StatsJson.h"
 #include "ir/Printer.h"
 #include "lang/Resolver.h"
+#include "parallel/ParallelRunner.h"
 #include "perceus/Pipeline.h"
 #include "support/FaultInjector.h"
 #include "support/JsonWriter.h"
@@ -56,7 +63,9 @@ void usage() {
                "            [--dump=FN] [--stages=FN] "
                "[--fuel=N] [--max-depth=N] [--max-heap=N]\n"
                "            [--max-cells=N] [--alloc-budget=N] "
-               "[--fail-alloc=N] [ARGS...]\n");
+               "[--fail-alloc=N] [--workers=N]\n"
+               "            [--shared-input=FN] [--shared-arg=N] "
+               "[ARGS...]\n");
 }
 
 bool parseCount(const char *A, const char *Flag, uint64_t &Out) {
@@ -142,7 +151,9 @@ int main(int Argc, char **Argv) {
   bool Stats = false;
   bool PassStats = false;
   RunLimits Limits;
-  uint64_t MaxHeapBytes = 0, FailAlloc = 0;
+  uint64_t MaxHeapBytes = 0, FailAlloc = 0, Workers = 0, SharedArg = 0;
+  std::string SharedInput;
+  std::vector<int64_t> SharedArgs;
   std::vector<int64_t> Args;
 
   for (int I = 1; I < Argc; ++I) {
@@ -175,6 +186,12 @@ int main(int Argc, char **Argv) {
       StatsJson = A + 13;
     } else if (!std::strcmp(A, "--pass-stats")) {
       PassStats = true;
+    } else if (std::strncmp(A, "--shared-input=", 15) == 0) {
+      SharedInput = A + 15;
+    } else if (parseCount(A, "--shared-arg=", SharedArg)) {
+      SharedArgs.push_back(static_cast<int64_t>(SharedArg));
+    } else if (parseCount(A, "--workers=", Workers)) {
+      // handled below
     } else if (parseCount(A, "--fuel=", Limits.Fuel) ||
                parseCount(A, "--max-depth=", Limits.MaxCallDepth) ||
                parseCount(A, "--max-heap=", MaxHeapBytes) ||
@@ -232,6 +249,67 @@ int main(int Argc, char **Argv) {
     for (const StageDump &S : runPipelineWithStages(P, F))
       std::printf("----- %s -----\n%s\n", S.Stage.c_str(), S.Text.c_str());
     return 0;
+  }
+
+  if (Workers || !SharedInput.empty()) {
+    if (!StatsJson.empty() || FailAlloc) {
+      std::fprintf(stderr, "error: --workers is incompatible with "
+                           "--stats-json and --fail-alloc\n");
+      return 1;
+    }
+    ParallelRunner PR(Source, Config);
+    if (!PR.ok()) {
+      std::fprintf(stderr, "%s", PR.diagnostics().str().c_str());
+      return 1;
+    }
+    ParallelOptions O;
+    O.Workers = Workers ? static_cast<unsigned>(Workers) : 1;
+    O.Entry = Entry;
+    for (int64_t A : Args)
+      O.Args.push_back(Value::makeInt(A));
+    O.SharedBuilder = SharedInput;
+    for (int64_t A : SharedArgs)
+      O.SharedArgs.push_back(Value::makeInt(A));
+    O.Limits = Limits;
+    ParallelOutcome Out = PR.run(O);
+    if (!Out.Error.empty()) {
+      std::fprintf(stderr, "error: %s\n", Out.Error.c_str());
+      return 1;
+    }
+    for (size_t W = 0; W != Out.Workers.size(); ++W) {
+      const WorkerOutcome &WO = Out.Workers[W];
+      if (WO.Run.Ok && WO.Run.Result.Kind == ValueKind::Int)
+        std::printf("worker %zu: %lld (%.3fs)\n", W,
+                    (long long)WO.Run.Result.Int, WO.Seconds);
+      else if (WO.Run.Ok)
+        std::printf("worker %zu: ok (%.3fs)\n", W, WO.Seconds);
+      else
+        std::printf("worker %zu: trap (%s): %s\n", W,
+                    trapKindName(WO.Run.Trap), WO.Run.Error.c_str());
+    }
+    if (Stats) {
+      const HeapStats &S = Out.Combined;
+      std::fprintf(stderr,
+                   "[%s x%zu] wall=%.3fs allocs=%llu frees=%llu "
+                   "dup=%llu drop=%llu atomic-rc=%llu peak=%zuB "
+                   "leaked-cells=%llu\n",
+                   Config.name(), Out.Workers.size(), Out.Seconds,
+                   (unsigned long long)S.Allocs,
+                   (unsigned long long)S.Frees,
+                   (unsigned long long)S.DupOps,
+                   (unsigned long long)S.DropOps,
+                   (unsigned long long)S.AtomicRcOps, S.PeakBytes,
+                   (unsigned long long)(S.LiveCells + Out.Shared.LiveCells));
+      if (!SharedInput.empty())
+        std::fprintf(stderr,
+                     "[shared segment] allocs=%llu frees=%llu "
+                     "atomic-rc=%llu swept-after-trap=%llu\n",
+                     (unsigned long long)Out.Shared.Allocs,
+                     (unsigned long long)Out.Shared.Frees,
+                     (unsigned long long)Out.Shared.AtomicRcOps,
+                     (unsigned long long)Out.SharedLeaked);
+    }
+    return Out.Ok ? 0 : 1;
   }
 
   Runner R(Source, Config);

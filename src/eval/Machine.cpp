@@ -125,8 +125,8 @@ bool Machine::step() {
       trap("step limit exceeded (out of fuel)", TrapKind::OutOfFuel);
       return false;
     }
-    if (Locals.size() > Run->MaxStackDepth)
-      Run->MaxStackDepth = Locals.size();
+    if (Locals.size() > Run->MaxLocalsSlots)
+      Run->MaxLocalsSlots = Locals.size();
     const Expr *E = Code;
     switch (E->kind()) {
     case ExprKind::Lit: {
@@ -460,7 +460,7 @@ bool Machine::step() {
       ++Run->ReuseHits;
       if (Sink) {
         Sink->setSite(E, "token-value", E->loc());
-        Sink->record(RcEvent::ReuseHit, Cell::byteSize(C->H.Arity));
+        Sink->record(RcEvent::ReuseHit, Cell::allocSize(C->H.Arity));
       }
       Result = Value::makeRef(C);
       Code = nullptr;
@@ -618,6 +618,8 @@ void Machine::doCall(size_t OperandBase, SourceLoc Loc) {
       return;
     }
     ++CallDepth;
+    if (CallDepth > Run->MaxCallDepth)
+      Run->MaxCallDepth = CallDepth;
     Kont K;
     K.Kind = Kont::K::Ret;
     K.Base = CurBase;
@@ -680,7 +682,7 @@ void Machine::finishCon(const ConExpr *C, size_t OperandBase) {
       Cl->H.Kind = CellKind::Ctor;
       ++Run->ReuseHits;
       if (Sink)
-        Sink->record(RcEvent::ReuseHit, Cell::byteSize(D.Arity));
+        Sink->record(RcEvent::ReuseHit, Cell::allocSize(D.Arity));
     } else {
       ++Run->ReuseMisses;
       if (Sink)

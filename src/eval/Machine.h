@@ -94,7 +94,12 @@ struct RunResult {
   uint64_t ReuseHits = 0;  ///< Con@ru with a non-null token (in-place)
   uint64_t ReuseMisses = 0;///< Con@ru that had to allocate fresh
   uint64_t TailCalls = 0;  ///< frame-reusing calls
-  uint64_t MaxStackDepth = 0; ///< high-water mark of the locals stack
+  uint64_t MaxCallDepth = 0;  ///< high-water mark of live non-tail call
+                              ///< frames — true continuation depth (tail
+                              ///< calls reuse their frame; FBIP loops
+                              ///< stay at depth 1)
+  uint64_t MaxLocalsSlots = 0;///< high-water mark of the locals stack in
+                              ///< slots (sums frame sizes, not depth)
   uint64_t UnwoundCells = 0;  ///< cells reclaimed by the trap unwind
   RcInstrCounts Rc;        ///< machine-side RC operation counts
 };

@@ -39,7 +39,12 @@ void writeRunResultJson(JsonWriter &W, const RunResult &R) {
       .member("reuse_hits", R.ReuseHits)
       .member("reuse_misses", R.ReuseMisses)
       .member("tail_calls", R.TailCalls)
-      .member("max_stack_depth", R.MaxStackDepth)
+      // max_stack_depth is true continuation depth (live non-tail call
+      // frames). It historically reported the locals high-water in
+      // *slots*; that quantity now lives in max_locals_slots.
+      .member("max_stack_depth", R.MaxCallDepth)
+      .member("max_call_depth", R.MaxCallDepth)
+      .member("max_locals_slots", R.MaxLocalsSlots)
       .member("unwound_cells", R.UnwoundCells);
   W.key("rc_instrs")
       .beginObject()

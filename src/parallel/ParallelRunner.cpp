@@ -1,0 +1,155 @@
+//===- parallel/ParallelRunner.cpp - Worker-pool execution ---------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelRunner.h"
+
+#include "gc/MarkSweep.h"
+#include "lang/Resolver.h"
+#include "runtime/SharedPool.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace perceus;
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+} // namespace
+
+ParallelRunner::ParallelRunner(std::string_view Source,
+                               const PassConfig &Config)
+    : Config(Config) {
+  Prog = std::make_unique<Program>();
+  if (!compileSource(Source, *Prog, Diags))
+    return;
+  runPipeline(*Prog, Config);
+  Layout.emplace(layoutProgram(*Prog));
+  Ok = true;
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
+  ParallelOutcome Out;
+  if (!Ok) {
+    Out.Error = "program failed to compile:\n" + Diags.str();
+    return Out;
+  }
+  unsigned Workers = Opts.Workers ? Opts.Workers : 1;
+
+  // All symbol interning happens here, before any thread exists: the
+  // Program is strictly read-only once workers run.
+  FuncId Entry = Prog->findFunction(Prog->symbols().intern(Opts.Entry));
+  if (Entry == InvalidId) {
+    Out.Error = "no such entry function: " + Opts.Entry;
+    return Out;
+  }
+
+  bool HasShared = !Opts.SharedBuilder.empty();
+  FuncId Builder = InvalidId;
+  if (HasShared) {
+    if (Config.Mode == RcMode::None) {
+      Out.Error = "shared-input mode requires a reference-counting "
+                  "configuration (the tracing collector has no tshare)";
+      return Out;
+    }
+    Builder = Prog->findFunction(Prog->symbols().intern(Opts.SharedBuilder));
+    if (Builder == InvalidId) {
+      Out.Error = "no such shared-input builder: " + Opts.SharedBuilder;
+      return Out;
+    }
+  }
+
+  // Phase 1: build the shared segment on the owner heap. The registry
+  // enables the post-join leak sweep; the result is kept alive past the
+  // machine's final result drop by the inspector's dup, then published
+  // with markShared — after this point every RC update on the segment is
+  // atomic, from any thread.
+  Heap Owner(HeapMode::Rc, Opts.GcThresholdBytes);
+  Value Root = Value::unit();
+  if (HasShared) {
+    Owner.enableCellRegistry();
+    Machine B(*Prog, *Layout, Owner);
+    B.setResultInspector([&](Value V) {
+      Root = V;
+      Owner.dup(V);
+    });
+    RunResult BR = B.run(Builder, Opts.SharedArgs);
+    if (!BR.Ok) {
+      Out.Error = "shared-input builder trapped: " + BR.Error;
+      return Out;
+    }
+    Owner.markShared(Root);
+    // One reference per worker (callee-owns: each worker's entry call
+    // consumes the reference its argument carries). The dups are issued
+    // here, single-threaded, so the owner still has exclusive access.
+    for (unsigned W = 0; W != Workers; ++W)
+      Owner.dup(Root);
+  }
+
+  // Phase 2: run the workers. Each owns a private heap and machine;
+  // frees of foreign shared cells park in the pool.
+  SharedCellPool Pool;
+  Out.Workers.resize(Workers);
+  HeapMode WorkerMode =
+      Config.Mode == RcMode::None ? HeapMode::Gc : HeapMode::Rc;
+  auto T0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W) {
+      Threads.emplace_back([&, W] {
+        WorkerOutcome &WO = Out.Workers[W];
+        Heap H(WorkerMode, Opts.GcThresholdBytes);
+        H.setSharedPool(&Pool);
+        H.setLimits(Opts.Limits.Heap);
+        Machine M(*Prog, *Layout, H);
+        M.setStepLimit(Opts.Limits.Fuel);
+        M.setCallDepthLimit(Opts.Limits.MaxCallDepth);
+        if (H.mode() == HeapMode::Gc)
+          attachCollector(H, [&M](const std::function<void(Value)> &Fn) {
+            M.enumerateRoots(Fn);
+          });
+        std::vector<Value> Args = Opts.Args;
+        if (HasShared)
+          Args.push_back(Root);
+        auto W0 = std::chrono::steady_clock::now();
+        WO.Run = M.run(Entry, std::move(Args));
+        WO.Seconds = secondsSince(W0);
+        WO.Heap = H.stats();
+        WO.HeapEmpty = H.empty();
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  Out.Seconds = secondsSince(T0);
+
+  // Phase 3: join bookkeeping, single-threaded again. Absorb the pool
+  // (reconciling the owner's live-cell accounting), release the owner's
+  // own reference, and — when trapped workers leaked references into the
+  // segment — sweep the stragglers via the registry so the garbage-free
+  // guarantee holds across threads too.
+  Out.Ok = true;
+  for (WorkerOutcome &WO : Out.Workers) {
+    Out.Ok = Out.Ok && WO.Run.Ok;
+    accumulate(Out.Combined, WO.Heap);
+  }
+  if (HasShared) {
+    Owner.absorbSharedFrees(Pool);
+    Owner.drop(Root);
+    if (!Owner.empty())
+      Out.SharedLeaked = Owner.reclaimLeaked();
+    Out.Shared = Owner.stats();
+  }
+  Out.AllHeapsEmpty = Owner.empty();
+  for (const WorkerOutcome &WO : Out.Workers)
+    Out.AllHeapsEmpty = Out.AllHeapsEmpty && WO.HeapEmpty;
+  return Out;
+}

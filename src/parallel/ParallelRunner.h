@@ -1,0 +1,119 @@
+//===- parallel/ParallelRunner.h - Worker-pool execution --------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A worker-pool engine that executes N abstract-machine instances
+/// concurrently — the execution layer that puts Section 2.7.2's
+/// thread-shared counts under *real* threads.
+///
+/// The program is compiled once (parse, pipeline, layout); the resulting
+/// Program and ProgramLayout are read-only at run time and shared by all
+/// workers. Each worker owns a private Heap and Machine for its working
+/// set, so thread-local counts stay non-atomic. Optionally a **shared
+/// segment** is built first: a builder function runs on a dedicated
+/// owner heap, its result is published with `markShared` (the paper's
+/// `tshare` contract — counts flip negative, all further RC updates are
+/// atomic), and every worker receives the shared root as its entry
+/// function's final argument. Workers dup/drop/decref the segment
+/// concurrently; when one of them observes the last reference its heap
+/// parks the cell in a SharedCellPool, which the owner heap absorbs
+/// after join (see runtime/SharedPool.h).
+///
+/// The join merges per-worker HeapStats into one combined view and
+/// enforces the garbage-free guarantee across threads: every worker heap
+/// and the shared owner heap must be empty after every run — including
+/// runs where workers trapped, in which case the owner sweeps leaked
+/// shared cells via its cell registry (Heap::reclaimLeaked).
+///
+/// Contract: worker programs must not call `tshare` themselves when a
+/// shared segment is configured — the engine performs the sharing on
+/// their behalf, exactly once, before any worker starts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_PARALLEL_PARALLELRUNNER_H
+#define PERCEUS_PARALLEL_PARALLELRUNNER_H
+
+#include "eval/Machine.h"
+#include "eval/Runner.h"
+#include "perceus/Pipeline.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perceus {
+
+/// What one parallel run should execute.
+struct ParallelOptions {
+  unsigned Workers = 1;          ///< number of concurrent machines
+  std::string Entry = "main";    ///< entry function every worker runs
+  std::vector<Value> Args;       ///< per-worker arguments (immediates)
+
+  /// When non-empty: the builder function whose result becomes the
+  /// shared segment. It runs once on the owner heap; the result is
+  /// markShared'd and appended to every worker's argument list.
+  std::string SharedBuilder;
+  std::vector<Value> SharedArgs; ///< builder arguments (immediates)
+
+  RunLimits Limits;              ///< applied to every worker
+  size_t GcThresholdBytes = 4u << 20; ///< per-worker GC threshold
+};
+
+/// One worker's results after join.
+struct WorkerOutcome {
+  RunResult Run;         ///< the machine's run result (trap, checksum, rc)
+  HeapStats Heap;        ///< the worker heap's final statistics
+  double Seconds = 0;    ///< this worker's own wall clock
+  bool HeapEmpty = false;///< Heap::empty() held after the run
+};
+
+/// The whole run's results after join.
+struct ParallelOutcome {
+  bool Ok = false;            ///< every worker ran to completion
+  std::string Error;          ///< setup failure (compile, lookup, builder)
+  std::vector<WorkerOutcome> Workers;
+  HeapStats Combined;         ///< field-wise sum of worker heap stats
+  HeapStats Shared;           ///< owner-heap stats after absorb/sweep
+  double Seconds = 0;         ///< wall clock spawn-to-join
+  bool AllHeapsEmpty = false; ///< workers' and owner's Heap::empty()
+  uint64_t SharedLeaked = 0;  ///< shared cells swept after trapped
+                              ///< workers (0 on clean runs)
+};
+
+/// See the file comment.
+class ParallelRunner {
+public:
+  /// Compiles \p Source under \p Config once for all workers. Check
+  /// `ok()` before running.
+  ParallelRunner(std::string_view Source, const PassConfig &Config);
+  ~ParallelRunner();
+  ParallelRunner(const ParallelRunner &) = delete;
+  ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+  bool ok() const { return Ok; }
+  const DiagnosticEngine &diagnostics() const { return Diags; }
+  Program &program() { return *Prog; }
+  const PassConfig &config() const { return Config; }
+
+  /// Executes \p Opts.Workers machines concurrently; blocks until all
+  /// joined. May be called repeatedly.
+  ParallelOutcome run(const ParallelOptions &Opts);
+
+private:
+  PassConfig Config;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> Prog;
+  std::optional<ProgramLayout> Layout;
+  bool Ok = false;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_PARALLEL_PARALLELRUNNER_H

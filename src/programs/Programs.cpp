@@ -630,3 +630,46 @@ fun bench_queue(n) {
 }
 )";
 }
+
+//===----------------------------------------------------------------------===//
+// shared-tree (contended traversal of a tshare'd input, Section 2.7.2)
+//===----------------------------------------------------------------------===//
+
+const char *perceus::sharedTreeSource() {
+  return R"(
+type tree {
+  Tip
+  Bin(left, elem, right)
+}
+
+// Perfect binary tree of the given depth; the element depends on both
+// the depth and the path so the checksum is position sensitive.
+fun build(d, x) {
+  if d == 0 then Tip
+  else Bin(build(d - 1, x * 2), x + d, build(d - 1, x * 2 + 1))
+}
+
+fun build_tree(d) {
+  build(d, 1)
+}
+
+fun sum-tree(t) {
+  match t {
+    Tip -> 0
+    Bin(l, x, r) -> sum-tree(l) + x + sum-tree(r)
+  }
+}
+
+// Each round keeps t live across the traversal (it is used again on the
+// next iteration), so Perceus inserts dup/drop around every visit — on
+// a thread-shared input those become contended atomic RC updates.
+fun rounds(i, t, acc) {
+  if i == 0 then acc
+  else rounds(i - 1, t, acc + sum-tree(t))
+}
+
+fun bench_shared_sum(n, t) {
+  rounds(n, t, 0)
+}
+)";
+}

@@ -66,6 +66,14 @@ const char *msortSource();
 /// dequeued values. The queue rotation is a classic reuse workload.
 const char *queueSource();
 
+/// Contended traversal of a thread-shared input (Section 2.7.2's
+/// workload shape): builder `build_tree(d)` returns a perfect binary
+/// tree of depth d, and entry `bench_shared_sum(n, t)` sums the tree n
+/// times while keeping it live, so every traversal dups/drops the
+/// (shared) nodes. Designed for ParallelRunner's shared-input mode,
+/// where the dups and drops become contended atomic RC updates.
+const char *sharedTreeSource();
+
 } // namespace perceus
 
 #endif // PERCEUS_PROGRAMS_PROGRAMS_H

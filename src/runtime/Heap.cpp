@@ -6,6 +6,7 @@
 
 #include "runtime/Heap.h"
 
+#include "runtime/SharedPool.h"
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
@@ -15,7 +16,13 @@
 using namespace perceus;
 
 namespace {
+/// The canonical sticky count a saturating dup writes.
 constexpr int32_t StickyRc = INT32_MIN;
+/// Top of the sticky band (see CellHeader): any count at or below this
+/// pins the cell alive, and is never updated. The 2^20 guard keeps racing
+/// atomic decrements that passed the band check from wrapping the count
+/// past INT32_MIN.
+constexpr int32_t StickyBandTop = INT32_MIN + (1 << 20);
 constexpr size_t SlabBytes = 256 * 1024;
 } // namespace
 
@@ -31,10 +38,12 @@ Cell *Heap::allocRaw(uint32_t Arity) {
     FreeLists[Arity] = freeListNext(C);
     return C;
   }
-  size_t Bytes = Cell::byteSize(Arity);
-  // Align to 16 (Value alignment).
-  Bytes = (Bytes + 15) & ~size_t(15);
-  if (SlabCur + Bytes > SlabEnd) {
+  size_t Bytes = Cell::allocSize(Arity);
+  // Compare remaining space, not `SlabCur + Bytes > SlabEnd`: on the
+  // first allocation both pointers are null and arithmetic on a null
+  // pointer is UB (UBSan flags it); the subtraction below is only formed
+  // once a slab exists.
+  if (!SlabCur || size_t(SlabEnd - SlabCur) < Bytes) {
     size_t Size = Bytes > SlabBytes ? Bytes : SlabBytes;
     Slabs.push_back(std::make_unique<char[]>(Size));
     SlabCur = Slabs.back().get();
@@ -65,22 +74,24 @@ Cell *Heap::alloc(uint32_t Arity, uint32_t Tag, CellKind Kind) {
   C->H.GcMark = 0;
   ++Stats.Allocs;
   ++Stats.LiveCells;
-  Stats.LiveBytes += Cell::byteSize(Arity);
+  Stats.LiveBytes += Cell::allocSize(Arity);
   if (Stats.LiveBytes > Stats.PeakBytes)
     Stats.PeakBytes = Stats.LiveBytes;
-  if (Mode == HeapMode::Gc)
+  if (Mode == HeapMode::Gc || RegisterAllCells)
     AllCells.push_back(C);
   if (Sink)
-    Sink->record(RcEvent::Alloc, Cell::byteSize(Arity));
+    Sink->record(RcEvent::Alloc, Cell::allocSize(Arity));
   return C;
 }
 
 void Heap::release(Cell *C) {
   if (Sink)
-    Sink->record(RcEvent::Free, Cell::byteSize(C->H.Arity));
+    Sink->record(RcEvent::Free, Cell::allocSize(C->H.Arity));
   ++Stats.Frees;
   --Stats.LiveCells;
-  Stats.LiveBytes -= Cell::byteSize(C->H.Arity);
+  Stats.LiveBytes -= Cell::allocSize(C->H.Arity);
+  if (!LocallyShared.empty())
+    LocallyShared.erase(C);
   uint32_t Arity = C->H.Arity;
   // rc == 0 is the freed marker; the trap-unwind walk relies on it to
   // skip stale references, so it is written in release builds too.
@@ -102,7 +113,7 @@ bool Heap::governedAllocAllowed(uint32_t Arity) {
     return true;
   auto withinLimits = [&] {
     if (Limits.MaxLiveBytes &&
-        Stats.LiveBytes + Cell::byteSize(Arity) > Limits.MaxLiveBytes)
+        Stats.LiveBytes + Cell::allocSize(Arity) > Limits.MaxLiveBytes)
       return false;
     if (Limits.MaxLiveCells && Stats.LiveCells + 1 > Limits.MaxLiveCells)
       return false;
@@ -139,13 +150,20 @@ void Heap::dup(Value V) {
   int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
   assert(Rc != 0 && "dup of freed cell");
   if (Rc > 0) {
+    if (Rc == INT32_MAX) {
+      // Count saturation: pin the cell alive forever instead of
+      // overflowing into the shared encoding.
+      C->H.Rc.store(StickyRc, std::memory_order_relaxed);
+      return;
+    }
     C->H.Rc.store(Rc + 1, std::memory_order_relaxed);
     return;
   }
   // Thread-shared: the count is negative; incrementing the count means
-  // subtracting one, atomically. The sticky value stays untouched — and
-  // since no RMW executes for it, it does not count as an atomic op.
-  if (Rc == StickyRc)
+  // subtracting one, atomically. Sticky counts (the band at the bottom
+  // of the range) stay untouched — and since no RMW executes for them,
+  // they do not count as atomic ops.
+  if (Rc <= StickyBandTop)
     return;
   ++Stats.AtomicRcOps;
   C->H.Rc.fetch_sub(1, std::memory_order_relaxed);
@@ -160,6 +178,7 @@ void Heap::dropRef(Cell *C) {
     DropStack.pop_back();
     int32_t Rc = Cur->H.Rc.load(std::memory_order_relaxed);
     assert(Rc != 0 && "drop of freed cell");
+    bool Foreign = false;
     if (Rc > 1) {
       Cur->H.Rc.store(Rc - 1, std::memory_order_relaxed);
       continue;
@@ -167,19 +186,28 @@ void Heap::dropRef(Cell *C) {
     if (Rc < 0) {
       // Thread-shared slow path (single fused `rc <= 1` test, 2.7.2).
       // Sticky counts are never updated, so no atomic op is recorded.
-      if (Rc == StickyRc)
+      if (Rc <= StickyBandTop)
         continue;
       ++Stats.AtomicRcOps;
       if (Cur->H.Rc.fetch_add(1, std::memory_order_acq_rel) != -1)
         continue;
-      // The count reached zero: fall through and free.
+      // The count reached zero: this thread holds the last reference
+      // (the acq_rel decrement grants exclusivity) and must free. A
+      // shared cell owned by another heap cannot go on our free lists —
+      // park it in the pool for the owner to absorb at join.
+      Foreign = SharedPool && !locallyShared(Cur);
     }
     // Unique (or last shared reference): free, then drop the children.
+    // A shared cell's children are shared too (markShared is
+    // transitive), so a foreign cascade stays pool-routed.
     Value *Fields = Cur->fields();
     for (uint32_t I = 0; I != Cur->H.Arity; ++I)
       if (Fields[I].isHeap())
         DropStack.push_back(Fields[I].Ref);
-    release(Cur);
+    if (Foreign)
+      SharedPool->park(Cur);
+    else
+      release(Cur);
   }
 }
 
@@ -202,27 +230,14 @@ void Heap::decref(Value V) {
     return;
   }
   ++Stats.DecRefOps;
-  Cell *C = V.Ref;
-  int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
-  if (Rc > 0) {
-    assert(Rc > 1 && "decref would free a thread-local cell");
-    C->H.Rc.store(Rc - 1, std::memory_order_relaxed);
-    return;
-  }
-  // A sticky count is pinned: no RMW executes, so nothing atomic to
-  // count (this used to bump AtomicRcOps before the early-out).
-  if (Rc == StickyRc)
-    return;
-  // Thread-shared: is-unique is always false for shared cells, so a
-  // shared count of 1 can reach a decref; free in that case.
-  ++Stats.AtomicRcOps;
-  if (C->H.Rc.fetch_add(1, std::memory_order_acq_rel) == -1) {
-    Value *Fields = C->fields();
-    for (uint32_t I = 0; I != C->H.Arity; ++I)
-      if (Fields[I].isHeap())
-        dropRef(Fields[I].Ref);
-    release(C);
-  }
+  // Decref skips only the is-unique *fast path* of a specialized drop,
+  // not the free: the decrement itself is drop's. In particular a
+  // thread-local count of 1 must free the cell with its children
+  // dropped — an earlier version asserted `Rc > 1` and, in release
+  // builds where the assert vanished, stored the rc == 0 freed marker
+  // without calling release(), leaking a cell the trap-unwind walk then
+  // silently skipped (it treats rc == 0 as already freed).
+  dropRef(V.Ref);
 }
 
 bool Heap::isUnique(Value V) {
@@ -250,6 +265,11 @@ void Heap::markShared(Value V) {
       continue; // already shared (children are too)
     assert(Rc > 0 && "tshare of freed cell");
     C->H.Rc.store(-Rc, std::memory_order_release);
+    // With a pool installed, remember that *we* shared this cell: its
+    // memory is ours, so its eventual free must not detour through the
+    // foreign-cell pool.
+    if (SharedPool)
+      LocallyShared.insert(C);
     Value *Fields = C->fields();
     for (uint32_t I = 0; I != C->H.Arity; ++I)
       if (Fields[I].isHeap())
@@ -287,7 +307,16 @@ size_t Heap::reclaim(const std::vector<Value> &Roots) {
       C = V.Ref;
     else if (V.Kind == ValueKind::Token)
       C = V.Tok;
-    if (!C || C->H.Rc.load(std::memory_order_relaxed) == 0 || C->H.GcMark)
+    if (!C || C->H.GcMark)
+      return;
+    int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+    if (Rc == 0)
+      return;
+    // Foreign thread-shared cells are not ours to unwind: other threads
+    // may still hold references (this heap's dups on them were already
+    // balanced or are leaked *into* the shared segment, which its owner
+    // sweeps after join). Touching them here would free live memory.
+    if (Rc < 0 && SharedPool && !locallyShared(C))
       return;
     C->H.GcMark = 1;
     Work.push_back(C);
@@ -313,4 +342,49 @@ size_t Heap::reclaimAll() {
   AllCells.clear();
   Stats.UnwindFrees += N;
   return N;
+}
+
+size_t Heap::reclaimLeaked() {
+  size_t N = 0;
+  for (Cell *C : AllCells) {
+    // Registry entries can repeat (free-list reuse re-registers the
+    // address) and include already-freed cells; the rc == 0 marker
+    // guards both.
+    if (C->H.Rc.load(std::memory_order_relaxed) == 0)
+      continue;
+    release(C);
+    ++N;
+  }
+  AllCells.clear();
+  Stats.UnwindFrees += N;
+  return N;
+}
+
+size_t Heap::absorbSharedFrees(SharedCellPool &Pool) {
+  size_t N = 0;
+  // Parked cells already carry the rc == 0 freed marker; release()
+  // re-stores it harmlessly and does the stats + free-list work.
+  Pool.drain([&](Cell *C) {
+    release(C);
+    ++N;
+  });
+  return N;
+}
+
+void perceus::accumulate(HeapStats &Into, const HeapStats &From) {
+  Into.Allocs += From.Allocs;
+  Into.Frees += From.Frees;
+  Into.DupOps += From.DupOps;
+  Into.DropOps += From.DropOps;
+  Into.DecRefOps += From.DecRefOps;
+  Into.NonHeapRcOps += From.NonHeapRcOps;
+  Into.AtomicRcOps += From.AtomicRcOps;
+  Into.IsUniqueTests += From.IsUniqueTests;
+  Into.Collections += From.Collections;
+  Into.FailedAllocs += From.FailedAllocs;
+  Into.EmergencyCollections += From.EmergencyCollections;
+  Into.UnwindFrees += From.UnwindFrees;
+  Into.LiveBytes += From.LiveBytes;
+  Into.PeakBytes += From.PeakBytes;
+  Into.LiveCells += From.LiveCells;
 }

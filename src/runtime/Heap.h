@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 namespace perceus {
@@ -39,6 +40,7 @@ enum class HeapMode : uint8_t {
 };
 
 class FaultInjector;
+class SharedCellPool;
 class StatsSink;
 
 /// Resource-governor limits. A zero field means "unlimited"; the default
@@ -82,10 +84,16 @@ struct HeapStats {
   uint64_t FailedAllocs = 0;  ///< allocations refused by the governor
   uint64_t EmergencyCollections = 0; ///< GC runs forced by a limit
   uint64_t UnwindFrees = 0;   ///< cells reclaimed by trap unwinding
-  size_t LiveBytes = 0;       ///< currently allocated cell bytes
+  size_t LiveBytes = 0;       ///< currently allocated cell bytes (rounded)
   size_t PeakBytes = 0;       ///< high-water mark of LiveBytes
   uint64_t LiveCells = 0;     ///< currently allocated cells
 };
+
+/// Accumulates \p From into \p Into (the parallel join: per-worker stats
+/// are summed into one combined view). Every counter adds, including
+/// PeakBytes — the combined peak is the pessimistic aggregate footprint,
+/// as if every worker peaked simultaneously.
+void accumulate(HeapStats &Into, const HeapStats &From);
 
 /// The runtime heap; see the file comment.
 class Heap {
@@ -154,6 +162,39 @@ public:
   /// operations on them are atomic.
   void markShared(Value V);
 
+  //===--- Cross-thread sharing (src/parallel) -------------------------------//
+
+  /// Installs the release path for *foreign* thread-shared cells
+  /// (non-owning; null uninstalls). With a pool installed, when this
+  /// heap's drop/decref observes the last reference to a shared cell it
+  /// did not share itself, the cell is parked in the pool instead of
+  /// being spliced into this heap's single-threaded free lists — the
+  /// memory belongs to the heap that allocated it, which absorbs the
+  /// pool at join via absorbSharedFrees(). Shared cells this heap marked
+  /// with its own markShared() stay on the ordinary release path.
+  void setSharedPool(SharedCellPool *P) { SharedPool = P; }
+  SharedCellPool *sharedPool() const { return SharedPool; }
+
+  /// Drains \p Pool into this heap: every parked cell is released here —
+  /// statistics reconciled, memory recycled through the per-arity free
+  /// lists. Call on the owning heap after all foreign threads joined.
+  /// Returns the number of cells absorbed.
+  size_t absorbSharedFrees(SharedCellPool &Pool);
+
+  /// Registers every allocation in allCells() even in RC mode, enabling
+  /// reclaimLeaked(). Call before the first allocation.
+  void enableCellRegistry() { RegisterAllCells = true; }
+
+  /// Releases every registered cell that is still live (rc != 0),
+  /// regardless of reachability. This is the shared-segment analogue of
+  /// the trap unwind: after a worker trapped, counts on the shared
+  /// segment are leaked *high*, and subtrees can be stranded with no
+  /// path from any root — only a full registry sweep recovers them.
+  /// Requires enableCellRegistry() before the cells were allocated; only
+  /// meaningful once no other thread can touch the cells. Returns the
+  /// number of cells freed.
+  size_t reclaimLeaked();
+
   /// Releases a cell's memory without touching its children (the `free`
   /// instruction after drop specialization, and token disposal).
   void freeMemoryOnly(Cell *C);
@@ -168,7 +209,7 @@ public:
     CollectHook = std::move(Hook);
   }
 
-  /// Every live-or-garbage cell (GC mode only).
+  /// Every live-or-garbage cell (GC mode, or enableCellRegistry()).
   std::vector<Cell *> &allCells() { return AllCells; }
 
   /// Releases \p C during sweep (returns it to the free list).
@@ -199,6 +240,9 @@ private:
   Cell *allocRaw(uint32_t Arity);
   void release(Cell *C);
   void dropRef(Cell *C);
+  bool locallyShared(const Cell *C) const {
+    return !LocallyShared.empty() && LocallyShared.count(C) != 0;
+  }
   bool governedAllocAllowed(uint32_t Arity);
   void updateGoverned() {
     Governed = Injector != nullptr || !Limits.unlimited();
@@ -219,6 +263,14 @@ private:
   FaultInjector *Injector = nullptr;
   bool Governed = false;
   StatsSink *Sink = nullptr;
+  SharedCellPool *SharedPool = nullptr;
+  bool RegisterAllCells = false;
+
+  /// Cells this heap itself passed to markShared() while a pool was
+  /// installed. They are shared (negative count, atomic updates) but the
+  /// memory is ours, so their frees bypass the pool. Consulted only on
+  /// the rare shared-free path; erased on release.
+  std::unordered_set<const Cell *> LocallyShared;
 
   // Bump-allocated slabs.
   std::vector<std::unique_ptr<char[]>> Slabs;

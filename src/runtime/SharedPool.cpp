@@ -1,0 +1,28 @@
+//===- runtime/SharedPool.cpp - Thread-safe shared-cell release ----------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SharedPool.h"
+
+using namespace perceus;
+
+void SharedCellPool::park(Cell *C) {
+  // The parking thread holds the last reference: it may write the freed
+  // marker without a RMW. Readers racing on stale references synchronize
+  // through the acq_rel decrement that granted this thread exclusivity.
+  C->H.Rc.store(0, std::memory_order_release);
+  Shard &S = shardFor(C);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Parked.push_back(C);
+}
+
+uint64_t SharedCellPool::parkedCells() const {
+  uint64_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Parked.size();
+  }
+  return N;
+}

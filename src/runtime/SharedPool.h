@@ -1,0 +1,89 @@
+//===- runtime/SharedPool.h - Thread-safe shared-cell release ---*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The release path for thread-shared cells freed from foreign threads.
+///
+/// Under the paper's `tshare` contract (Section 2.7.2) a cell published
+/// to other threads carries a negative count and every RC update on it is
+/// atomic — but the *memory* still belongs to the heap that allocated it.
+/// When a worker's drop takes a shared count to zero, the worker must not
+/// splice the cell into its own free lists (they are single-threaded and
+/// the slab belongs to another heap). Instead the freeing thread parks
+/// the cell in a SharedCellPool: a sharded, mutex-protected free list.
+/// At join, the owning heap absorbs the pool (Heap::absorbSharedFrees),
+/// reconciling its live-cell/live-byte statistics and recycling the
+/// memory through its ordinary per-arity free lists.
+///
+/// Exactly one thread ever parks a given cell — the one whose atomic
+/// decrement observed the last reference — so the pool needs no per-cell
+/// synchronization beyond the shard mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_RUNTIME_SHAREDPOOL_H
+#define PERCEUS_RUNTIME_SHAREDPOOL_H
+
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace perceus {
+
+/// A thread-safe parking lot for freed thread-shared cells; see the file
+/// comment. Sharded by cell address to keep unrelated frees off the same
+/// mutex.
+class SharedCellPool {
+public:
+  SharedCellPool() = default;
+  SharedCellPool(const SharedCellPool &) = delete;
+  SharedCellPool &operator=(const SharedCellPool &) = delete;
+
+  /// Parks \p C, which the calling thread just freed (it observed the
+  /// last shared reference). Writes the rc == 0 freed marker so stale
+  /// references and unwind walks skip the cell from here on.
+  void park(Cell *C);
+
+  /// Number of cells currently parked (approximate while threads are
+  /// still freeing; exact after join).
+  uint64_t parkedCells() const;
+
+  /// Drains every parked cell into \p Consume (called under no lock with
+  /// the shard already detached). Used by Heap::absorbSharedFrees.
+  template <typename Fn> void drain(Fn Consume) {
+    for (Shard &S : Shards) {
+      std::vector<Cell *> Taken;
+      {
+        std::lock_guard<std::mutex> Lock(S.Mu);
+        Taken.swap(S.Parked);
+      }
+      for (Cell *C : Taken)
+        Consume(C);
+    }
+  }
+
+private:
+  static constexpr size_t NumShards = 8;
+
+  struct Shard {
+    mutable std::mutex Mu;
+    std::vector<Cell *> Parked;
+  };
+
+  Shard &shardFor(const Cell *C) {
+    // Cells are 16-byte aligned; mix the significant address bits.
+    auto Bits = reinterpret_cast<uintptr_t>(C) >> 4;
+    return Shards[(Bits ^ (Bits >> 7)) % NumShards];
+  }
+
+  Shard Shards[NumShards];
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_RUNTIME_SHAREDPOOL_H

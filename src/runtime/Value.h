@@ -127,9 +127,18 @@ enum class CellKind : uint8_t {
 /// The reference count occupies the low 32 bits of the header.
 ///
 /// Encoding (Section 2.7.2): `1..INT32_MAX` thread-local counts;
-/// `-1..INT32_MIN+1` thread-shared counts (count = -rc), updated
-/// atomically; `INT32_MIN` is the sticky value (kept alive forever);
-/// `0` marks a freed cell (debug).
+/// negative values are thread-shared counts (count = -rc), updated
+/// atomically; `0` marks a freed cell (debug).
+///
+/// Sticky counts are a *band*, not a single value: every count at or
+/// below `INT32_MIN + 2^20` pins the cell alive forever. A band is
+/// required under real concurrency — racing `fetch_sub` dups that pass
+/// the sticky check before another thread's update lands could step a
+/// single sticky value past `INT32_MIN` and wrap to positive. With a
+/// 2^20-wide guard band the count would need over a million in-flight
+/// racers to escape, so saturation is permanent in practice. A
+/// thread-local count that reaches `INT32_MAX` saturates the same way:
+/// dup pins it into the sticky band instead of overflowing.
 struct CellHeader {
   std::atomic<int32_t> Rc;
   uint8_t Tag = 0;
@@ -151,6 +160,14 @@ struct Cell {
   /// Total byte size of a cell with \p Arity fields.
   static size_t byteSize(uint32_t Arity) {
     return sizeof(Cell) + Arity * sizeof(Value);
+  }
+
+  /// Slab bytes a cell with \p Arity fields actually consumes: byteSize
+  /// rounded up to the 16-byte Value alignment the allocator bumps by.
+  /// All live/peak-byte accounting uses this quantity so the statistics
+  /// reflect real memory, not the unrounded struct size.
+  static size_t allocSize(uint32_t Arity) {
+    return (byteSize(Arity) + 15) & ~size_t(15);
   }
 };
 

@@ -1,0 +1,169 @@
+//===- tests/parallel/parallel_runner_test.cpp - Worker-pool engine ------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end coverage of the parallel execution layer: compile once, run
+// N machines concurrently; the shared segment is built once, tshare'd,
+// traversed by every worker, and freed exactly once; and the garbage-
+// free guarantee holds for every per-worker heap and the shared owner
+// heap after every run — including runs where workers trap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelRunner.h"
+
+#include "eval/Runner.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace perceus;
+
+namespace {
+
+ParallelOptions opts(unsigned Workers, std::string Entry,
+                     std::vector<int64_t> Args) {
+  ParallelOptions O;
+  O.Workers = Workers;
+  O.Entry = std::move(Entry);
+  for (int64_t A : Args)
+    O.Args.push_back(Value::makeInt(A));
+  return O;
+}
+
+TEST(ParallelRunner, WorkersMatchSingleThreadedResult) {
+  ParallelRunner PR(rbtreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+  ParallelOutcome Out = PR.run(opts(4, "bench_rbtree", {400}));
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  ASSERT_EQ(Out.Workers.size(), 4u);
+
+  Runner Single(rbtreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(Single.ok());
+  RunResult Ref = Single.callInt("bench_rbtree", {400});
+  ASSERT_TRUE(Ref.Ok);
+
+  for (const WorkerOutcome &W : Out.Workers) {
+    EXPECT_TRUE(W.Run.Ok) << W.Run.Error;
+    EXPECT_EQ(W.Run.Result.Int, Ref.Result.Int);
+    EXPECT_TRUE(W.HeapEmpty) << "garbage-free per worker";
+    EXPECT_EQ(W.Heap.Allocs, Single.heap().stats().Allocs);
+  }
+  EXPECT_TRUE(Out.AllHeapsEmpty);
+  EXPECT_EQ(Out.Combined.Allocs, 4 * Single.heap().stats().Allocs);
+  EXPECT_EQ(Out.Combined.Frees, Out.Combined.Allocs);
+  EXPECT_EQ(Out.Combined.LiveCells, 0u);
+}
+
+TEST(ParallelRunner, SharedSegmentIsBuiltOnceAndFreedExactlyOnce) {
+  ParallelRunner PR(sharedTreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+
+  ParallelOptions O = opts(8, "bench_shared_sum", {50});
+  O.SharedBuilder = "build_tree";
+  O.SharedArgs = {Value::makeInt(8)};
+  ParallelOutcome Out = PR.run(O);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+
+  // Reference: the same traversal single-threaded, tree built locally.
+  Runner Single(sharedTreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(Single.ok());
+  Value Tree;
+  Single.machine().setResultInspector([&](Value V) {
+    Tree = V;
+    Single.heap().dup(V);
+  });
+  ASSERT_TRUE(Single.callInt("build_tree", {8}).Ok);
+  Single.machine().setResultInspector(nullptr);
+  RunResult Ref =
+      Single.call("bench_shared_sum", {Value::makeInt(50), Tree});
+  ASSERT_TRUE(Ref.Ok);
+
+  for (const WorkerOutcome &W : Out.Workers) {
+    EXPECT_EQ(W.Run.Result.Int, Ref.Result.Int);
+    EXPECT_TRUE(W.HeapEmpty);
+    EXPECT_GT(W.Heap.AtomicRcOps, 0u)
+        << "traversing a shared tree must take the atomic path";
+  }
+  EXPECT_TRUE(Out.AllHeapsEmpty) << "shared heap empty after join";
+  EXPECT_EQ(Out.SharedLeaked, 0u) << "clean runs sweep nothing";
+  EXPECT_EQ(Out.Shared.Frees, Out.Shared.Allocs)
+      << "every shared cell freed exactly once";
+}
+
+TEST(ParallelRunner, TrappedWorkersLeakNothingAnywhere) {
+  ParallelRunner PR(sharedTreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+
+  ParallelOptions O = opts(4, "bench_shared_sum", {100000});
+  O.SharedBuilder = "build_tree";
+  O.SharedArgs = {Value::makeInt(6)};
+  O.Limits.Fuel = 20000; // trap every worker mid-traversal
+  ParallelOutcome Out = PR.run(O);
+
+  EXPECT_FALSE(Out.Ok);
+  for (const WorkerOutcome &W : Out.Workers) {
+    EXPECT_FALSE(W.Run.Ok);
+    EXPECT_EQ(W.Run.Trap, TrapKind::OutOfFuel);
+    EXPECT_TRUE(W.HeapEmpty) << "worker unwind skips the shared segment "
+                                "but frees all of its own cells";
+  }
+  // The workers' leaked references into the shared segment are
+  // unrecoverable by counting; the owner's registry sweep must finish
+  // the job so the garbage-free guarantee survives the traps.
+  EXPECT_TRUE(Out.AllHeapsEmpty);
+}
+
+TEST(ParallelRunner, CombinedStatsAreTheFieldwiseSum) {
+  ParallelRunner PR(derivSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+  ParallelOutcome Out = PR.run(opts(3, "bench_deriv", {4}));
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+
+  HeapStats Sum;
+  for (const WorkerOutcome &W : Out.Workers)
+    accumulate(Sum, W.Heap);
+  EXPECT_EQ(Out.Combined.Allocs, Sum.Allocs);
+  EXPECT_EQ(Out.Combined.DupOps, Sum.DupOps);
+  EXPECT_EQ(Out.Combined.DropOps, Sum.DropOps);
+  EXPECT_EQ(Out.Combined.PeakBytes, Sum.PeakBytes);
+}
+
+TEST(ParallelRunner, GcConfigRunsWithoutSharedInput) {
+  ParallelRunner PR(nqueensSource(), PassConfig::gc());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+  ParallelOutcome Out = PR.run(opts(2, "bench_nqueens", {6}));
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  for (const WorkerOutcome &W : Out.Workers)
+    EXPECT_EQ(W.Run.Result.Int, 4); // 6-queens has 4 solutions
+}
+
+TEST(ParallelRunner, GcConfigRejectsSharedInput) {
+  ParallelRunner PR(sharedTreeSource(), PassConfig::gc());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+  ParallelOptions O = opts(2, "bench_shared_sum", {5});
+  O.SharedBuilder = "build_tree";
+  O.SharedArgs = {Value::makeInt(4)};
+  ParallelOutcome Out = PR.run(O);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_NE(Out.Error.find("reference-counting"), std::string::npos);
+}
+
+TEST(ParallelRunner, UnknownEntryAndBuilderAreReportedNotRun) {
+  ParallelRunner PR(rbtreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok());
+  ParallelOutcome Out = PR.run(opts(2, "no_such_fn", {}));
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_NE(Out.Error.find("no such entry"), std::string::npos);
+
+  ParallelOptions O = opts(2, "bench_rbtree", {10});
+  O.SharedBuilder = "no_such_builder";
+  Out = PR.run(O);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_NE(Out.Error.find("no such shared-input builder"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tests/parallel/shared_rc_stress_test.cpp - Concurrent RC ----------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Hammers the thread-shared RC paths of Section 2.7.2 from real threads:
+// dup/drop/decref/isUnique storms on a shared structure, sticky-count
+// saturation under contention, and a last-reference race where exactly
+// one thread must free. Designed to run under TSan
+// (-DPERCEUS_SANITIZE=thread) — the CI job does — but meaningful without
+// it too, since every assertion checks the exact final counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+#include "runtime/SharedPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <climits>
+#include <thread>
+#include <vector>
+
+using namespace perceus;
+
+namespace {
+
+constexpr int NumThreads = 8;
+
+/// Builds a perfect binary tree of \p Depth on \p H (arity-2 nodes,
+/// leaves are arity-0) and collects every cell into \p Nodes.
+Value buildTree(Heap &H, int Depth, std::vector<Cell *> &Nodes) {
+  if (Depth == 0) {
+    Cell *Leaf = H.alloc(0, 0, CellKind::Ctor);
+    Nodes.push_back(Leaf);
+    return Value::makeRef(Leaf);
+  }
+  Value L = buildTree(H, Depth - 1, Nodes);
+  Value R = buildTree(H, Depth - 1, Nodes);
+  Cell *N = H.alloc(2, 1, CellKind::Ctor);
+  N->fields()[0] = L;
+  N->fields()[1] = R;
+  Nodes.push_back(N);
+  return Value::makeRef(N);
+}
+
+TEST(SharedRcStress, DupDropDecrefStormLeavesCountsBalanced) {
+  // Owner builds and shares a tree; 8 threads, each with a private heap
+  // (as ParallelRunner workers have), hammer balanced dup/drop/decref/
+  // isUnique on every node. After the join the counts must be exactly
+  // what the owner published, and the owner's final drop must free the
+  // whole tree.
+  Heap Owner;
+  std::vector<Cell *> Nodes;
+  Value Root = buildTree(Owner, 6, Nodes);
+  Owner.markShared(Root);
+
+  SharedCellPool Pool;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Heap H;
+      H.setSharedPool(&Pool);
+      for (int I = 0; I != 2000; ++I) {
+        for (size_t N = T % 3; N < Nodes.size(); N += 3) {
+          Value V = Value::makeRef(Nodes[N]);
+          H.dup(V);
+          EXPECT_FALSE(H.isUnique(V)) << "shared cells are never unique";
+          if ((I + N) % 2)
+            H.drop(V);
+          else
+            H.decref(V);
+        }
+      }
+      EXPECT_TRUE(H.empty());
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Pool.parkedCells(), 0u) << "balanced ops free nothing";
+  for (Cell *N : Nodes)
+    EXPECT_LT(N->H.Rc.load(), 0) << "still shared, still live";
+  Owner.drop(Root);
+  EXPECT_TRUE(Owner.empty()) << "owner's reference was the last";
+}
+
+TEST(SharedRcStress, LastReferenceRaceFreesExactlyOnce) {
+  // Give each of 8 threads one reference to a two-cell structure and let
+  // them race the final drop: exactly one thread observes the last
+  // reference and parks both cells; the owner absorbs them and is empty.
+  constexpr int Rounds = 500;
+  Heap Owner;
+  for (int R = 0; R != Rounds; ++R) {
+    Cell *Child = Owner.alloc(0, 0, CellKind::Ctor);
+    Cell *Parent = Owner.alloc(1, 0, CellKind::Ctor);
+    Parent->fields()[0] = Value::makeRef(Child);
+    Value Root = Value::makeRef(Parent);
+    Owner.markShared(Root);
+    // The owner hands its reference plus NumThreads - 1 fresh dups to
+    // the racers: after all of them drop, the structure is dead.
+    for (int T = 1; T != NumThreads; ++T)
+      Owner.dup(Root);
+
+    SharedCellPool Pool;
+    std::atomic<uint64_t> ParkObserved{0};
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T) {
+      Threads.emplace_back([&] {
+        Heap H;
+        H.setSharedPool(&Pool);
+        H.drop(Root);
+        EXPECT_TRUE(H.empty());
+        ParkObserved.fetch_add(H.stats().AtomicRcOps,
+                               std::memory_order_relaxed);
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+
+    EXPECT_EQ(Pool.parkedCells(), 2u) << "parent and child, each once";
+    EXPECT_EQ(ParkObserved.load(), uint64_t(NumThreads) + 1)
+        << "one atomic decrement per racer plus the child's";
+    EXPECT_EQ(Owner.absorbSharedFrees(Pool), 2u);
+    EXPECT_TRUE(Owner.empty());
+  }
+}
+
+TEST(SharedRcStress, StickySaturationUnderContention) {
+  // Park a count just above the sticky band and let 8 threads dup it
+  // concurrently far past the band edge. Once inside the band every
+  // operation is a no-op, so the count must come to rest within
+  // NumThreads of the band top — never anywhere near wrapping past
+  // INT32_MIN — and stay pinned afterwards.
+  constexpr int32_t BandTop = INT32_MIN + (1 << 20);
+  Heap Owner;
+  Cell *C = Owner.alloc(0, 0, CellKind::Ctor);
+  Value V = Value::makeRef(C);
+  Owner.markShared(V);
+  C->H.Rc.store(BandTop + 64, std::memory_order_relaxed);
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      Heap H;
+      for (int I = 0; I != 1000; ++I)
+        H.dup(V); // dup on shared: atomic decrement toward the band
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  int32_t Rc = C->H.Rc.load();
+  EXPECT_LE(Rc, BandTop) << "saturated into the band";
+  EXPECT_GE(Rc, BandTop - NumThreads) << "at most one overshoot per racer";
+  // Pinned: further operations from any thread leave the count alone.
+  Owner.dup(V);
+  Owner.drop(V);
+  Owner.decref(V);
+  EXPECT_EQ(C->H.Rc.load(), Rc);
+  Owner.freeMemoryOnly(C); // test cleanup of the pinned cell
+}
+
+TEST(SharedRcStress, ConcurrentDecrefRaceOnSharedList) {
+  // decref takes the same fused slow path as drop; race it specifically:
+  // a chain of cells where each thread's single decref of the head may
+  // be the one that cascades down the spine.
+  constexpr int Rounds = 200, Len = 16;
+  Heap Owner;
+  for (int R = 0; R != Rounds; ++R) {
+    Value Head = Value::makeRef(Owner.alloc(0, 0, CellKind::Ctor));
+    for (int I = 1; I != Len; ++I) {
+      Cell *C = Owner.alloc(1, 0, CellKind::Ctor);
+      C->fields()[0] = Head;
+      Head = Value::makeRef(C);
+    }
+    Owner.markShared(Head);
+    for (int T = 1; T != NumThreads; ++T)
+      Owner.dup(Head);
+
+    SharedCellPool Pool;
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T) {
+      Threads.emplace_back([&] {
+        Heap H;
+        H.setSharedPool(&Pool);
+        H.decref(Head);
+        EXPECT_TRUE(H.empty());
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+
+    EXPECT_EQ(Pool.parkedCells(), uint64_t(Len)) << "whole spine, once";
+    EXPECT_EQ(Owner.absorbSharedFrees(Pool), uint64_t(Len));
+    EXPECT_TRUE(Owner.empty());
+  }
+}
+
+} // namespace

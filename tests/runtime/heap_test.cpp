@@ -124,7 +124,7 @@ TEST(Heap, PeakBytesTracksHighWater) {
   for (int I = 0; I != 10; ++I)
     Keep.push_back(mkCell(H, 1));
   size_t Peak = H.stats().PeakBytes;
-  EXPECT_EQ(Peak, 10 * Cell::byteSize(1));
+  EXPECT_EQ(Peak, 10 * Cell::allocSize(1)); // rounded slab consumption
   for (Value V : Keep)
     H.drop(V);
   EXPECT_EQ(H.stats().LiveBytes, 0u);
@@ -205,6 +205,57 @@ TEST(Heap, DecRefNeverChecksUniqueness) {
   EXPECT_EQ(V.Ref->H.Rc.load(), 1);
   EXPECT_EQ(H.stats().DecRefOps, 1u);
   H.drop(V);
+}
+
+TEST(Heap, DecRefOnCountOneFreesTheCell) {
+  // The shared branch of a specialized drop can reach a *thread-local*
+  // count of 1 too; decref must free the cell, children dropped. (A
+  // release build once wrote the rc == 0 freed marker without calling
+  // release(), leaking a cell the trap-unwind walk then silently
+  // skipped.)
+  Heap H;
+  Value Child = mkCell(H, 0);
+  Cell *Parent = H.alloc(1, 0, CellKind::Ctor);
+  Parent->fields()[0] = Child;
+  H.decref(Value::makeRef(Parent));
+  EXPECT_EQ(H.stats().DecRefOps, 1u);
+  EXPECT_EQ(H.stats().Frees, 2u) << "cell and child both freed";
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(Heap, DupSaturatesToStickyInsteadOfOverflowing) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MAX, std::memory_order_relaxed);
+  H.dup(V); // would overflow into the shared encoding
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN) << "pinned sticky";
+  // Pinned cells ignore every further RC operation and never free.
+  H.dup(V);
+  H.drop(V);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN);
+  EXPECT_EQ(H.stats().AtomicRcOps, 0u) << "sticky counts never RMW";
+  H.freeMemoryOnly(V.Ref); // test cleanup
+}
+
+TEST(Heap, StickyBandPinsNearMinimumCounts) {
+  // Sticky is a band, not one value: any count at or below
+  // INT32_MIN + 2^20 is pinned, so racing atomic decrements that passed
+  // the band check cannot wrap a count past INT32_MIN.
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MIN + (1 << 20), std::memory_order_relaxed);
+  H.dup(V);
+  H.drop(V);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN + (1 << 20)) << "in-band: pinned";
+  EXPECT_EQ(H.stats().AtomicRcOps, 0u);
+  // Just above the band the count is an ordinary shared count.
+  V.Ref->H.Rc.store(INT32_MIN + (1 << 20) + 1, std::memory_order_relaxed);
+  H.dup(V); // count grows: rc moves down, into the band — and pins
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN + (1 << 20));
+  EXPECT_EQ(H.stats().AtomicRcOps, 1u);
+  H.freeMemoryOnly(V.Ref); // test cleanup
 }
 
 TEST(Heap, SharedDecRefCanFree) {
@@ -487,7 +538,7 @@ TEST(HeapTelemetry, ReuseKeepsShadowByteLedgerExact) {
   Parent->fields()[0] = A;
   Parent->fields()[1] = B;
   size_t PeakBefore = H.stats().PeakBytes;
-  size_t LiveParentOnly = Cell::byteSize(2);
+  size_t LiveParentOnly = Cell::allocSize(2);
 
   H.dropChildren(Parent); // drop-reuse unique path: children freed
   EXPECT_EQ(H.stats().LiveBytes, LiveParentOnly);
@@ -533,7 +584,7 @@ TEST(HeapGovernor, MaxLiveCellsRefusesAtTheCap) {
 TEST(HeapGovernor, MaxLiveBytesAccountsCellSize) {
   Heap H;
   HeapLimits L;
-  L.MaxLiveBytes = Cell::byteSize(2) + Cell::byteSize(0);
+  L.MaxLiveBytes = Cell::allocSize(2) + Cell::allocSize(0);
   H.setLimits(L);
   Value A = mkCell(H, 2);
   EXPECT_EQ(H.alloc(2, 0, CellKind::Ctor), nullptr) << "would exceed cap";
