@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 using namespace perceus;
 using namespace perceus::bench;
@@ -49,13 +50,11 @@ std::vector<BenchProgram> perceus::bench::figure9Programs(double Scale) {
 
 Measurement perceus::bench::measure(const BenchProgram &Prog,
                                     const PassConfig &Config,
-                                    StatsSink *Sink) {
+                                    const EngineConfig &EC) {
   Measurement M;
-  Runner R(Prog.Source, Config);
+  Runner R(Prog.Source, Config, EC);
   if (!R.ok())
     return M;
-  if (Sink)
-    R.setStatsSink(Sink);
   auto T0 = std::chrono::steady_clock::now();
   RunResult Res = R.callInt(Prog.Entry, {Prog.BaseScale});
   auto T1 = std::chrono::steady_clock::now();
@@ -68,6 +67,12 @@ Measurement perceus::bench::measure(const BenchProgram &Prog,
   M.Heap = R.heap().stats();
   M.Run = Res;
   return M;
+}
+
+Measurement perceus::bench::measure(const BenchProgram &Prog,
+                                    const PassConfig &Config,
+                                    StatsSink *Sink) {
+  return measure(Prog, Config, EngineConfig{}.withSink(Sink));
 }
 
 Measurement perceus::bench::measureNative(const BenchProgram &Prog) {
@@ -122,6 +127,20 @@ double perceus::bench::parseScale(int Argc, char **Argv, double Default) {
       return std::atof(Argv[I] + 8);
   }
   return Default;
+}
+
+EngineKind perceus::bench::parseEngine(int Argc, char **Argv,
+                                       EngineKind Default) {
+  EngineKind K = Default;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--engine=", 9) == 0 &&
+        !parseEngineKind(Argv[I] + 9, K)) {
+      std::fprintf(stderr, "bench: unknown engine '%s' (cek or vm)\n",
+                   Argv[I] + 9);
+      std::exit(2);
+    }
+  }
+  return K;
 }
 
 BenchReport::BenchReport(std::string Bench, double Scale)

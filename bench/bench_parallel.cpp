@@ -18,7 +18,7 @@
 /// linearly — expect ~N× up to the host's core count and flat beyond it
 /// (a single-core host shows ~1× everywhere, honestly).
 ///
-///   bench_parallel [--scale=X] [--json=PATH | --no-json]
+///   bench_parallel [--scale=X] [--engine=cek|vm] [--json=PATH | --no-json]
 ///
 /// Writes BENCH_parallel.json ("perceus-bench-v1"; config = workers=N).
 ///
@@ -45,16 +45,15 @@ struct ParallelWorkload {
 };
 
 Measurement runOnce(ParallelRunner &PR, const ParallelWorkload &W,
-                    unsigned Workers) {
-  ParallelOptions O;
-  O.Workers = Workers;
-  O.Entry = W.Entry;
-  O.Args = {Value::makeInt(W.Arg)};
+                    unsigned Workers, EngineKind Engine) {
+  EngineConfig EC;
+  EC.Engine = Engine;
+  EC.Workers = Workers;
   if (W.Builder) {
-    O.SharedBuilder = W.Builder;
-    O.SharedArgs = {Value::makeInt(W.BuilderArg)};
+    EC.SharedBuilder = W.Builder;
+    EC.SharedArgs = {Value::makeInt(W.BuilderArg)};
   }
-  ParallelOutcome Out = PR.run(O);
+  ParallelOutcome Out = PR.run(EC, W.Entry, {Value::makeInt(W.Arg)});
   Measurement M;
   if (!Out.Ok || !Out.AllHeapsEmpty) {
     if (!Out.Error.empty())
@@ -83,6 +82,7 @@ Measurement runOnce(ParallelRunner &PR, const ParallelWorkload &W,
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
   std::string JsonPath = parseJsonPath("parallel", Argc, Argv);
+  EngineKind Engine = parseEngine(Argc, Argv);
   const unsigned WorkerCounts[] = {1, 2, 4, 8};
 
   const ParallelWorkload Workloads[] = {
@@ -118,7 +118,7 @@ int main(int Argc, char **Argv) {
     }
     ColNames.push_back(W.Name);
     for (size_t R = 0; R != std::size(WorkerCounts); ++R) {
-      Measurement M = runOnce(PR, W, WorkerCounts[R]);
+      Measurement M = runOnce(PR, W, WorkerCounts[R], Engine);
       if (!M.Ran)
         return 1;
       Report.add(W.Name, RowNames[R], M);

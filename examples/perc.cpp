@@ -11,6 +11,8 @@
 ///
 ///   --config=NAME     perceus (default) | perceus-noopt |
 ///                     perceus-borrow | scoped-rc | gc
+///   --engine=NAME     cek (default) | vm — the tree-walking machine or
+///                     the bytecode interpreter (observably identical)
 ///   --entry=NAME      entry function (default: main)
 ///   --stats           print heap/machine statistics after the run
 ///   --stats-json=FILE run, then dump heap stats, run stats, and the
@@ -58,8 +60,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: perc FILE.perc [--config=NAME] [--entry=NAME] "
-               "[--stats] [--stats-json=FILE] [--pass-stats]\n"
+               "usage: perc FILE.perc [--config=NAME] [--engine=cek|vm] "
+               "[--entry=NAME] [--stats] [--stats-json=FILE] [--pass-stats]\n"
                "            [--dump=FN] [--stages=FN] "
                "[--fuel=N] [--max-depth=N] [--max-heap=N]\n"
                "            [--max-cells=N] [--alloc-budget=N] "
@@ -150,6 +152,7 @@ int main(int Argc, char **Argv) {
   PassConfig Config = PassConfig::perceusFull();
   bool Stats = false;
   bool PassStats = false;
+  EngineConfig EC;
   RunLimits Limits;
   uint64_t MaxHeapBytes = 0, FailAlloc = 0, Workers = 0, SharedArg = 0;
   std::string SharedInput;
@@ -172,6 +175,12 @@ int main(int Argc, char **Argv) {
         Config = PassConfig::gc();
       else {
         std::fprintf(stderr, "error: unknown config '%s'\n", Name);
+        return 1;
+      }
+    } else if (std::strncmp(A, "--engine=", 9) == 0) {
+      if (!parseEngineKind(A + 9, EC.Engine)) {
+        std::fprintf(stderr, "error: unknown engine '%s' (cek or vm)\n",
+                     A + 9);
         return 1;
       }
     } else if (std::strncmp(A, "--entry=", 8) == 0) {
@@ -262,16 +271,15 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "%s", PR.diagnostics().str().c_str());
       return 1;
     }
-    ParallelOptions O;
-    O.Workers = Workers ? static_cast<unsigned>(Workers) : 1;
-    O.Entry = Entry;
-    for (int64_t A : Args)
-      O.Args.push_back(Value::makeInt(A));
-    O.SharedBuilder = SharedInput;
+    EC.Workers = Workers ? static_cast<unsigned>(Workers) : 1;
+    EC.SharedBuilder = SharedInput;
     for (int64_t A : SharedArgs)
-      O.SharedArgs.push_back(Value::makeInt(A));
-    O.Limits = Limits;
-    ParallelOutcome Out = PR.run(O);
+      EC.SharedArgs.push_back(Value::makeInt(A));
+    EC.Limits = Limits;
+    std::vector<Value> VArgs;
+    for (int64_t A : Args)
+      VArgs.push_back(Value::makeInt(A));
+    ParallelOutcome Out = PR.run(EC, Entry, std::move(VArgs));
     if (!Out.Error.empty()) {
       std::fprintf(stderr, "error: %s\n", Out.Error.c_str());
       return 1;
@@ -312,7 +320,15 @@ int main(int Argc, char **Argv) {
     return Out.Ok ? 0 : 1;
   }
 
-  Runner R(Source, Config);
+  EC.Limits = Limits;
+  FaultInjector FI = FaultInjector::failNth(FailAlloc);
+  if (FailAlloc)
+    EC.Injector = &FI;
+  SiteTableSink Sites;
+  if (!StatsJson.empty())
+    EC.Sink = &Sites;
+
+  Runner R(Source, Config, EC);
   if (!R.ok()) {
     std::fprintf(stderr, "%s", R.diagnostics().str().c_str());
     return 1;
@@ -327,14 +343,6 @@ int main(int Argc, char **Argv) {
     std::printf("%s", printFunction(R.program(), F).c_str());
     return 0;
   }
-
-  R.setLimits(Limits);
-  FaultInjector FI = FaultInjector::failNth(FailAlloc);
-  if (FailAlloc)
-    R.setFaultInjector(&FI);
-  SiteTableSink Sites;
-  if (!StatsJson.empty())
-    R.setStatsSink(&Sites);
 
   RunResult Res = R.callInt(Entry, Args);
   // The JSON dump is most valuable exactly when something went wrong, so

@@ -1,0 +1,175 @@
+//===- bytecode/Bytecode.h - Flat register bytecode -------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat, register-based bytecode for the RC-instrumented IR. The
+/// compiler (bytecode/Compiler.h) lowers each function and each lambda
+/// body into a Chunk of fixed-width instructions over the frame layout
+/// the CEK machine already uses: the layout pass's named slots become the
+/// low registers of the frame, and expression temporaries live above
+/// them. Operand windows for calls, constructors and primitives are
+/// contiguous register ranges, Lua-style, so a call binds its arguments
+/// by re-basing the register file instead of copying.
+///
+/// Design constraints, in priority order:
+///
+///  1. *Observable parity with the CEK machine.* The VM must issue the
+///     exact same sequence of heap operations (alloc, dup, drop, decref,
+///     is-unique, free, markShared) with the same telemetry sites, so
+///     HeapStats, RcInstrCounts, reuse counters and fault-injection
+///     behaviour are bit-identical across engines. This dictates the
+///     evaluation order baked into the compiler (callee before
+///     arguments, constructor fields before the allocation, value before
+///     the token check in set-field) and the first-class RC opcodes.
+///  2. *Dispatch speed.* Every RC instruction, the is-unique and
+///     null-token branches, and each primitive is a single opcode;
+///     constructor tag/arity are inline immediates resolved at compile
+///     time (the "inline cache" — no CtorDecl lookup at run time); calls
+///     to statically-known functions skip callee resolution entirely.
+///
+/// Instructions are 12 bytes: opcode, an 8-bit immediate A, three 16-bit
+/// register/immediate fields B/C/D, and a 32-bit extended field E used
+/// for jump targets, pool indices and function/lambda ids. Register
+/// indices are frame-relative; a frame holds at most 65535 registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_BYTECODE_BYTECODE_H
+#define PERCEUS_BYTECODE_BYTECODE_H
+
+#include "ir/Program.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perceus {
+
+/// Bytecode operations. Operand conventions are listed per opcode;
+/// unnamed fields are unused. "window" is the first register of a
+/// contiguous run of operands.
+enum class Op : uint8_t {
+  //===--- Moves and constants --------------------------------------------===//
+  LoadConst,   ///< B=dst, E=constant-pool index
+  Move,        ///< B=dst, C=src
+
+  //===--- Control flow ---------------------------------------------------===//
+  Jump,        ///< E=target pc
+  JumpIfFalse, ///< B=cond, E=target pc (traps on a non-boolean)
+  MatchOp,     ///< B=scrutinee slot, E=match-table index
+  Call,        ///< A=nargs, B=dst, C=window (callee; args at window+1)
+  CallStatic,  ///< A=nargs, B=dst, C=window (args), E=FuncId
+  TailCall,    ///< A=nargs, C=window (callee; args at window+1)
+  TailCallStatic, ///< A=nargs, C=window (args), E=FuncId
+  Ret,         ///< B=src
+
+  //===--- Heap allocation ------------------------------------------------===//
+  MakeClosure, ///< B=dst, E=LamId (captures resolved via the lam chunk)
+  Con,         ///< A=arity, B=dst, C=window (fields), D=ctor tag
+  ConReuse,    ///< A=arity, B=dst, C=window, D=token slot, E=ctor tag
+
+  //===--- RC instructions (first-class; see eval/Machine.h) --------------===//
+  Dup,          ///< C=slot
+  Drop,         ///< C=slot
+  FreeOp,       ///< C=slot (memory-only disposal)
+  DecRef,       ///< C=slot
+  IsUniqueBr,   ///< C=slot, E=else target (unique path falls through)
+  DropReuse,    ///< C=var slot, D=token slot
+  ReuseAddr,    ///< B=dst, C=var slot
+  IsNullTokenBr,///< C=token slot, E=else target (null path falls through)
+  SetField,     ///< A=field index, C=token slot, D=value reg
+  TokenValue,   ///< B=dst, C=token slot, D=ctor tag
+
+  //===--- Primitives (one opcode each; fast unboxed paths) ---------------===//
+  Add,          ///< B=dst, C=lhs, D=rhs (likewise through Ge)
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Neg,          ///< B=dst, C=src
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqVal,        ///< B=dst, C=lhs, D=rhs (Int/Bool/Enum equality)
+  NeVal,
+  Not,          ///< B=dst, C=src
+  PrintLn,      ///< B=dst, C=src
+  MarkSharedOp, ///< B=dst, C=src (tshare: markShared + consuming drop)
+  AbortOp,      ///< traps
+  RefNew,       ///< B=dst, C=src
+  RefGet,       ///< B=dst, C=src
+  RefSet,       ///< B=dst, C=ref reg, D=value reg
+
+  TrapOp,       ///< E=message index (compile-time-known runtime error)
+};
+
+constexpr size_t NumOpcodes = static_cast<size_t>(Op::TrapOp) + 1;
+
+/// One fixed-width instruction; see the Op comments for field use.
+struct Instr {
+  Op O;
+  uint8_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  uint16_t D = 0;
+  uint32_t E = 0;
+};
+
+/// One arm of a compiled match. Arms keep their source order — the VM
+/// scans them exactly like the CEK machine does, including recording a
+/// default arm and *continuing* the scan (a later ill-typed arm still
+/// traps even when a default exists).
+struct MatchArmCode {
+  ArmKind Kind = ArmKind::Default;
+  uint32_t Tag = 0;        ///< Ctor arms: the constructor tag
+  int64_t Lit = 0;         ///< IntLit/BoolLit arms
+  uint32_t BinderBase = 0; ///< into CompiledProgram::BinderSlots
+  uint32_t NumBinders = 0;
+  uint32_t Target = 0;     ///< pc of the arm body
+};
+
+struct MatchTable {
+  std::vector<MatchArmCode> Arms;
+};
+
+/// The compiled body of one function or one lambda.
+struct Chunk {
+  std::vector<Instr> Code;
+  /// Telemetry sites, parallel to Code: the IR node an instruction's
+  /// heap events attribute to (null when the instruction reports none).
+  /// Only consulted when a StatsSink is installed.
+  std::vector<const Expr *> Sites;
+  uint32_t NumRegs = 0;   ///< frame size: named slots + temporaries
+  uint32_t NumParams = 0; ///< parameters occupy registers 0..NumParams-1
+
+  //===--- Lambda chunks only ---------------------------------------------===//
+  const LamExpr *Lam = nullptr;    ///< the IR node (telemetry site identity)
+  std::vector<uint16_t> CaptureSrc;///< capture slots in the enclosing frame
+  std::vector<uint16_t> CaptureDst;///< capture slots in this chunk's frame
+
+  //===--- Function chunks only -------------------------------------------===//
+  const FunctionDecl *Fn = nullptr; ///< for arity-mismatch trap messages
+};
+
+/// A whole compiled program: per-function and per-lambda chunks over
+/// shared constant/match/message pools. Read-only after compilation, so
+/// one CompiledProgram can back any number of concurrent VMs (the
+/// parallel engine compiles once and shares it across workers).
+struct CompiledProgram {
+  const Program *Prog = nullptr;
+  std::vector<Chunk> Funcs; ///< indexed by FuncId
+  std::vector<Chunk> Lams;  ///< indexed by LamId
+  std::vector<Value> Consts;
+  std::vector<MatchTable> Matches;
+  std::vector<uint16_t> BinderSlots; ///< flat per-arm binder slot lists
+  std::vector<std::string> Messages; ///< TrapOp messages
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_BYTECODE_BYTECODE_H

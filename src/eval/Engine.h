@@ -1,0 +1,140 @@
+//===- eval/Engine.h - Execution-engine interface ---------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract interface every execution engine implements, plus the
+/// result/trap/counter types shared by all of them. Two engines exist:
+///
+///   * eval/Machine.h   — the CEK-style tree-walking machine;
+///   * bytecode/VM.h    — the register-based bytecode interpreter.
+///
+/// Both run the same RC-instrumented IR against the same Heap, issue the
+/// same sequence of heap operations (dup/drop/decref/is-unique/alloc) and
+/// honor the same trap model with the clean-unwind guarantee: after every
+/// trap the engine has reclaimed everything it still referenced, so
+/// Heap::empty() holds on the error path too. Engine-independent
+/// statistics (RcInstrCounts, reuse hits/misses, the heap's own counters)
+/// are bit-identical across engines; dispatch-granularity metrics (Steps,
+/// TailCalls, MaxCallDepth, MaxLocalsSlots) are engine-specific.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_EVAL_ENGINE_H
+#define PERCEUS_EVAL_ENGINE_H
+
+#include "ir/Program.h"
+#include "runtime/Heap.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace perceus {
+
+/// Why a run stopped. `Ok` is the only kind with a result value; all
+/// others are traps, after which the engine has unwound its frames and
+/// released every reachable cell (the heap is empty again — the
+/// garbage-free guarantee extends to the error path).
+enum class TrapKind : uint8_t {
+  Ok,            ///< ran to completion
+  OutOfMemory,   ///< the heap governor refused an allocation
+  OutOfFuel,     ///< the step-fuel limit was exhausted
+  StackOverflow, ///< the call-depth limit was exceeded
+  RuntimeError,  ///< dynamic error: arity/tag/type mismatch, div-0, abort
+};
+
+/// Short stable name ("ok", "out-of-memory", ...) for messages/tables.
+const char *trapKindName(TrapKind K);
+
+/// How many RC operations the engine issued against the heap, counted
+/// at the engine side so tests can cross-check them against the heap's
+/// classification counters (see the invariant on HeapStats). The
+/// explicit counters tally instructions in the instrumented IR; the
+/// Implicit* counters tally heap calls the engine makes on its own
+/// behalf — closure application (rule app_r: dup each capture, drop the
+/// closure), ref cell primitives, tshare's consuming drop, the final
+/// heap-result release, and drop-reuse's expansion (dropChildren on the
+/// unique path, decref on the shared path). By construction:
+///
+///   heap dup calls    == Dups + ImplicitDups
+///   heap drop calls   == Drops + ImplicitDrops
+///   heap decref calls == DecRefs + ImplicitDecRefs
+///   heap is-unique calls == IsUniques
+struct RcInstrCounts {
+  uint64_t Dups = 0;       ///< dup instructions executed
+  uint64_t Drops = 0;      ///< drop instructions executed
+  uint64_t Frees = 0;      ///< free instructions executed (memory-only)
+  uint64_t DecRefs = 0;    ///< decref instructions executed
+  uint64_t IsUniques = 0;  ///< is-unique tests executed (all forms)
+  uint64_t DropReuses = 0; ///< drop-reuse instructions executed
+  uint64_t ImplicitDups = 0;
+  uint64_t ImplicitDrops = 0;
+  uint64_t ImplicitDecRefs = 0;
+
+  uint64_t totalCalls() const {
+    return Dups + ImplicitDups + Drops + ImplicitDrops + DecRefs +
+           ImplicitDecRefs + IsUniques;
+  }
+};
+
+/// Per-run execution statistics and results.
+struct RunResult {
+  bool Ok = false;
+  TrapKind Trap = TrapKind::Ok; ///< structured trap cause when !Ok
+  std::string Error;       ///< trap message when !Ok
+  Value Result;            ///< final value (immediates only; heap results
+                           ///< are reported as kind HeapRef and dropped)
+  std::string Output;      ///< accumulated println output
+  uint64_t Steps = 0;      ///< dispatches executed (engine granularity:
+                           ///< expression nodes on the CEK machine,
+                           ///< bytecode instructions on the VM)
+  uint64_t ReuseHits = 0;  ///< Con@ru with a non-null token (in-place)
+  uint64_t ReuseMisses = 0;///< Con@ru that had to allocate fresh
+  uint64_t TailCalls = 0;  ///< frame-reusing calls
+  uint64_t MaxCallDepth = 0;  ///< high-water mark of live non-tail call
+                              ///< frames — true continuation depth (tail
+                              ///< calls reuse their frame; FBIP loops
+                              ///< stay at depth 1)
+  uint64_t MaxLocalsSlots = 0;///< high-water mark of the locals stack in
+                              ///< slots (sums frame sizes, not depth)
+  uint64_t UnwoundCells = 0;  ///< cells reclaimed by the trap unwind
+  RcInstrCounts Rc;        ///< engine-side RC operation counts
+};
+
+/// The interface both engines implement; see the file comment.
+class Engine {
+public:
+  virtual ~Engine() = default;
+
+  /// Runs function \p F on \p Args (ownership of heap arguments
+  /// transfers to the callee). A heap-valued result is dropped before
+  /// returning (reported in Result.Kind).
+  virtual RunResult run(FuncId F, std::vector<Value> Args) = 0;
+
+  /// Step fuel: maximum dispatches before trapping with OutOfFuel
+  /// (0 = unlimited). The unit is the engine's own dispatch granularity.
+  virtual void setStepLimit(uint64_t Limit) = 0;
+
+  /// Maximum simultaneously-live non-tail call frames before trapping
+  /// with StackOverflow (0 = unlimited). Tail calls reuse their frame
+  /// and never count against the limit.
+  virtual void setCallDepthLimit(uint64_t Limit) = 0;
+
+  /// Enumerates every GC root the engine currently holds.
+  virtual void enumerateRoots(const std::function<void(Value)> &Fn) const = 0;
+
+  /// Called with the final value right before the engine releases it
+  /// (heap results are dropped to keep runs garbage free); lets callers
+  /// inspect structured results.
+  virtual void setResultInspector(std::function<void(Value)> Fn) = 0;
+
+  /// The heap this engine allocates from.
+  virtual Heap &heap() = 0;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_EVAL_ENGINE_H

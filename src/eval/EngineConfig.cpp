@@ -1,0 +1,31 @@
+//===- eval/EngineConfig.cpp - Unified engine configuration -------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/EngineConfig.h"
+
+using namespace perceus;
+
+const char *perceus::engineKindName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Cek:
+    return "cek";
+  case EngineKind::Vm:
+    return "vm";
+  }
+  return "unknown";
+}
+
+bool perceus::parseEngineKind(std::string_view Name, EngineKind &Out) {
+  if (Name == "cek") {
+    Out = EngineKind::Cek;
+    return true;
+  }
+  if (Name == "vm") {
+    Out = EngineKind::Vm;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,99 @@
+//===- eval/EngineConfig.h - Unified engine configuration -------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One configuration object for every way of running a program. It names
+/// the engine (the CEK tree-walker or the bytecode VM), bundles every
+/// resource limit, and carries the cross-cutting hooks (fault injector,
+/// stats sink) plus the parallel-run fields (worker count, shared
+/// segment). `Runner`, `ParallelRunner`, the `perc` CLI and the bench
+/// harnesses all consume the same struct, so a flag like `--engine=vm`
+/// or `--fuel=N` is parsed once and threaded everywhere — replacing the
+/// per-field setter sprawl that accumulated across Runner/ParallelOptions.
+///
+/// The pass configuration (PassConfig) stays separate on purpose: it
+/// selects what code the compiler emits, while EngineConfig selects how
+/// the emitted code is executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_EVAL_ENGINECONFIG_H
+#define PERCEUS_EVAL_ENGINECONFIG_H
+
+#include "runtime/Heap.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perceus {
+
+class FaultInjector;
+class StatsSink;
+
+/// Which execution engine runs the instrumented IR.
+enum class EngineKind : uint8_t {
+  Cek, ///< the tree-walking CEK machine (eval/Machine.h)
+  Vm,  ///< the register-based bytecode interpreter (bytecode/VM.h)
+};
+
+/// Short stable name ("cek", "vm") for flags and tables.
+const char *engineKindName(EngineKind K);
+
+/// Parses "cek" or "vm" into \p Out; returns false on anything else.
+bool parseEngineKind(std::string_view Name, EngineKind &Out);
+
+/// Resource limits for one engine: heap governor plus fuel and call
+/// depth. Zero fields mean "unlimited"; the default is the ungoverned
+/// fast path.
+struct RunLimits {
+  HeapLimits Heap;            ///< live bytes / live cells / alloc budget
+  uint64_t Fuel = 0;          ///< max engine dispatches (0 = unlimited)
+  uint64_t MaxCallDepth = 0;  ///< max live non-tail frames (0 = unlimited)
+
+  static RunLimits unlimited() { return {}; }
+};
+
+/// See the file comment. Value-semantic and cheap to copy; the injector
+/// and sink are non-owning (null = not installed).
+struct EngineConfig {
+  EngineKind Engine = EngineKind::Cek; ///< which interpreter executes
+  RunLimits Limits;                    ///< governor + fuel + depth
+
+  //===--- Parallel runs (consumed by ParallelRunner only) ----------------===//
+  unsigned Workers = 1;          ///< number of concurrent engines
+  std::string SharedBuilder;     ///< when non-empty: builder function whose
+                                 ///< result becomes the tshare'd segment
+  std::vector<Value> SharedArgs; ///< builder arguments (immediates)
+
+  //===--- Cross-cutting hooks (non-owning) -------------------------------===//
+  FaultInjector *Injector = nullptr; ///< sees every allocation attempt
+  StatsSink *Sink = nullptr;         ///< per-site RC/alloc telemetry
+
+  size_t GcThresholdBytes = 4u << 20; ///< GC collection threshold
+
+  /// Convenience builders for the common axes.
+  EngineConfig &withEngine(EngineKind K) {
+    Engine = K;
+    return *this;
+  }
+  EngineConfig &withLimits(const RunLimits &L) {
+    Limits = L;
+    return *this;
+  }
+  EngineConfig &withSink(StatsSink *S) {
+    Sink = S;
+    return *this;
+  }
+  EngineConfig &withGcThreshold(size_t Bytes) {
+    GcThresholdBytes = Bytes;
+    return *this;
+  }
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_EVAL_ENGINECONFIG_H

@@ -6,43 +6,69 @@
 
 #include "eval/Runner.h"
 
+#include "bytecode/Compiler.h"
+#include "bytecode/VM.h"
+#include "eval/Machine.h"
 #include "gc/MarkSweep.h"
 #include "lang/Resolver.h"
 
 using namespace perceus;
 
 Runner::Runner(std::string_view Source, const PassConfig &Config,
-               size_t GcThresholdBytes)
-    : Config(Config) {
+               const EngineConfig &EC)
+    : Config(Config), EC(EC) {
   OwnedProg = std::make_unique<Program>();
   Prog = OwnedProg.get();
   if (!compileSource(Source, *Prog, Diags))
     return;
-  finishSetup(GcThresholdBytes);
+  finishSetup();
 }
 
-Runner::Runner(Program &P, const PassConfig &Config, size_t GcThresholdBytes)
-    : Config(Config), Prog(&P) {
-  finishSetup(GcThresholdBytes);
+Runner::Runner(Program &P, const PassConfig &Config, const EngineConfig &EC)
+    : Config(Config), EC(EC), Prog(&P) {
+  finishSetup();
 }
+
+static EngineConfig configWithThreshold(size_t GcThresholdBytes) {
+  EngineConfig EC;
+  EC.GcThresholdBytes = GcThresholdBytes;
+  return EC;
+}
+
+Runner::Runner(std::string_view Source, const PassConfig &Config,
+               size_t GcThresholdBytes)
+    : Runner(Source, Config, configWithThreshold(GcThresholdBytes)) {}
+
+Runner::Runner(Program &P, const PassConfig &Config, size_t GcThresholdBytes)
+    : Runner(P, Config, configWithThreshold(GcThresholdBytes)) {}
 
 Runner::~Runner() = default;
 
-void Runner::finishSetup(size_t GcThresholdBytes) {
+void Runner::finishSetup() {
   runPipeline(*Prog, Config);
   Layout.emplace(layoutProgram(*Prog));
   TheHeap = std::make_unique<Heap>(
       Config.Mode == RcMode::None ? HeapMode::Gc : HeapMode::Rc,
-      GcThresholdBytes);
-  TheMachine = std::make_unique<Machine>(*Prog, *Layout, *TheHeap);
+      EC.GcThresholdBytes);
+  if (EC.Engine == EngineKind::Vm) {
+    Compiled.emplace(compileProgram(*Prog, *Layout));
+    TheEngine = std::make_unique<VM>(*Compiled, *TheHeap);
+  } else {
+    TheEngine = std::make_unique<Machine>(*Prog, *Layout, *TheHeap);
+  }
   if (TheHeap->mode() == HeapMode::Gc) {
-    Machine *M = TheMachine.get();
+    Engine *E = TheEngine.get();
     attachCollector(*TheHeap,
-                    [M](const std::function<void(Value)> &Fn) {
-                      M->enumerateRoots(Fn);
+                    [E](const std::function<void(Value)> &Fn) {
+                      E->enumerateRoots(Fn);
                     });
   }
   Ok = true;
+  setLimits(EC.Limits);
+  if (EC.Injector)
+    setFaultInjector(EC.Injector);
+  if (EC.Sink)
+    setStatsSink(EC.Sink);
 }
 
 RunResult Runner::callInt(std::string_view Name, std::vector<int64_t> Args) {
@@ -66,15 +92,15 @@ RunResult Runner::call(std::string_view Name, std::vector<Value> Args) {
     R.Error = "no such function: " + std::string(Name);
     return R;
   }
-  return TheMachine->run(F, std::move(Args));
+  return TheEngine->run(F, std::move(Args));
 }
 
 void Runner::setLimits(const RunLimits &L) {
   if (!Ok)
     return;
   TheHeap->setLimits(L.Heap);
-  TheMachine->setStepLimit(L.Fuel);
-  TheMachine->setCallDepthLimit(L.MaxCallDepth);
+  TheEngine->setStepLimit(L.Fuel);
+  TheEngine->setCallDepthLimit(L.MaxCallDepth);
 }
 
 void Runner::setFaultInjector(FaultInjector *FI) {

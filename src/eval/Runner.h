@@ -6,18 +6,28 @@
 ///
 /// \file
 /// Runner bundles the whole stack — parse, resolve, Perceus pipeline,
-/// frame layout, heap, collector, abstract machine — behind the API the
+/// frame layout, heap, collector, execution engine — behind the API the
 /// examples, tests and benchmarks use:
 ///
 ///   Runner R(Source, PassConfig::perceusFull());
 ///   RunResult Res = R.callInt("main", {});
+///
+/// The execution engine is selected by EngineConfig::Engine: the CEK
+/// tree-walker (default) or the bytecode VM, which compiles the laid-out
+/// program once at setup:
+///
+///   Runner R(Source, PassConfig::perceusFull(),
+///            EngineConfig{}.withEngine(EngineKind::Vm));
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PERCEUS_EVAL_RUNNER_H
 #define PERCEUS_EVAL_RUNNER_H
 
-#include "eval/Machine.h"
+#include "bytecode/Bytecode.h"
+#include "eval/Engine.h"
+#include "eval/EngineConfig.h"
+#include "eval/Layout.h"
 #include "perceus/Pipeline.h"
 #include "support/Diagnostics.h"
 
@@ -27,31 +37,25 @@
 
 namespace perceus {
 
-class FaultInjector;
-class StatsSink;
-
-/// Resource limits for one Runner: heap governor plus machine fuel and
-/// call depth. Zero fields mean "unlimited"; the default is the
-/// ungoverned fast path.
-struct RunLimits {
-  HeapLimits Heap;            ///< live bytes / live cells / alloc budget
-  uint64_t Fuel = 0;          ///< max machine steps (0 = unlimited)
-  uint64_t MaxCallDepth = 0;  ///< max live non-tail frames (0 = unlimited)
-
-  static RunLimits unlimited() { return {}; }
-};
-
 /// See the file comment.
 class Runner {
 public:
-  /// Compiles \p Source under \p Config. Check `ok()` before running.
+  /// Compiles \p Source under \p Config and sets up the engine \p EC
+  /// selects. Check `ok()` before running.
   Runner(std::string_view Source, const PassConfig &Config,
-         size_t GcThresholdBytes = 4u << 20);
+         const EngineConfig &EC = {});
 
   /// Wraps an already-resolved program (takes no ownership); runs the
   /// pipeline on it.
-  Runner(Program &P, const PassConfig &Config,
-         size_t GcThresholdBytes = 4u << 20);
+  Runner(Program &P, const PassConfig &Config, const EngineConfig &EC = {});
+
+  /// Deprecated shims from before EngineConfig unified the knobs; the
+  /// threshold maps to EngineConfig::GcThresholdBytes.
+  [[deprecated("pass an EngineConfig instead")]]
+  Runner(std::string_view Source, const PassConfig &Config,
+         size_t GcThresholdBytes);
+  [[deprecated("pass an EngineConfig instead")]]
+  Runner(Program &P, const PassConfig &Config, size_t GcThresholdBytes);
 
   ~Runner();
   Runner(const Runner &) = delete;
@@ -61,8 +65,13 @@ public:
   const DiagnosticEngine &diagnostics() const { return Diags; }
   Program &program() { return *Prog; }
   Heap &heap() { return *TheHeap; }
-  Machine &machine() { return *TheMachine; }
+  /// The selected execution engine (CEK machine or bytecode VM).
+  Engine &engine() { return *TheEngine; }
+  /// Legacy name for engine(), from when the CEK machine was the only
+  /// engine; every member it exposes is on the Engine interface.
+  Engine &machine() { return *TheEngine; }
   const PassConfig &config() const { return Config; }
+  const EngineConfig &engineConfig() const { return EC; }
 
   /// Calls function \p Name with integer arguments.
   RunResult callInt(std::string_view Name, std::vector<int64_t> Args);
@@ -75,7 +84,7 @@ public:
   /// this holds after trapped runs too.
   bool heapIsEmpty() const { return TheHeap->empty(); }
 
-  /// Installs resource limits on the heap and the machine. May be called
+  /// Installs resource limits on the heap and the engine. May be called
   /// between runs; RunLimits::unlimited() restores the ungoverned path.
   void setLimits(const RunLimits &L);
 
@@ -83,20 +92,22 @@ public:
   void setFaultInjector(FaultInjector *FI);
 
   /// Installs a telemetry sink on the heap (non-owning; null uninstalls).
-  /// The machine picks it up at the start of the next run and attributes
+  /// The engine picks it up at the start of the next run and attributes
   /// every RC/alloc/reuse event to its IR site.
   void setStatsSink(StatsSink *S);
 
 private:
-  void finishSetup(size_t GcThresholdBytes);
+  void finishSetup();
 
   PassConfig Config;
+  EngineConfig EC;
   DiagnosticEngine Diags;
   std::unique_ptr<Program> OwnedProg;
   Program *Prog = nullptr;
   std::optional<ProgramLayout> Layout;
+  std::optional<CompiledProgram> Compiled; // VM engine only
   std::unique_ptr<Heap> TheHeap;
-  std::unique_ptr<Machine> TheMachine;
+  std::unique_ptr<Engine> TheEngine;
   bool Ok = false;
 };
 

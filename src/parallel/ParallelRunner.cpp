@@ -6,6 +6,9 @@
 
 #include "parallel/ParallelRunner.h"
 
+#include "bytecode/Compiler.h"
+#include "bytecode/VM.h"
+#include "eval/Machine.h"
 #include "gc/MarkSweep.h"
 #include "lang/Resolver.h"
 #include "runtime/SharedPool.h"
@@ -35,23 +38,34 @@ ParallelRunner::ParallelRunner(std::string_view Source,
 
 ParallelRunner::~ParallelRunner() = default;
 
-ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
+ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
+                                    std::string_view Entry,
+                                    std::vector<Value> Args) {
   ParallelOutcome Out;
   if (!Ok) {
     Out.Error = "program failed to compile:\n" + Diags.str();
     return Out;
   }
-  unsigned Workers = Opts.Workers ? Opts.Workers : 1;
+  unsigned Workers = EC.Workers ? EC.Workers : 1;
 
-  // All symbol interning happens here, before any thread exists: the
-  // Program is strictly read-only once workers run.
-  FuncId Entry = Prog->findFunction(Prog->symbols().intern(Opts.Entry));
-  if (Entry == InvalidId) {
-    Out.Error = "no such entry function: " + Opts.Entry;
+  // All symbol interning — and, for the VM, the one shared bytecode
+  // compilation — happens here, before any thread exists: the Program
+  // and CompiledProgram are strictly read-only once workers run.
+  FuncId EntryFn = Prog->findFunction(Prog->symbols().intern(Entry));
+  if (EntryFn == InvalidId) {
+    Out.Error = "no such entry function: " + std::string(Entry);
     return Out;
   }
+  if (EC.Engine == EngineKind::Vm && !Compiled)
+    Compiled.emplace(compileProgram(*Prog, *Layout));
 
-  bool HasShared = !Opts.SharedBuilder.empty();
+  auto makeEngine = [&](Heap &H) -> std::unique_ptr<Engine> {
+    if (EC.Engine == EngineKind::Vm)
+      return std::make_unique<VM>(*Compiled, H);
+    return std::make_unique<Machine>(*Prog, *Layout, H);
+  };
+
+  bool HasShared = !EC.SharedBuilder.empty();
   FuncId Builder = InvalidId;
   if (HasShared) {
     if (Config.Mode == RcMode::None) {
@@ -59,28 +73,28 @@ ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
                   "configuration (the tracing collector has no tshare)";
       return Out;
     }
-    Builder = Prog->findFunction(Prog->symbols().intern(Opts.SharedBuilder));
+    Builder = Prog->findFunction(Prog->symbols().intern(EC.SharedBuilder));
     if (Builder == InvalidId) {
-      Out.Error = "no such shared-input builder: " + Opts.SharedBuilder;
+      Out.Error = "no such shared-input builder: " + EC.SharedBuilder;
       return Out;
     }
   }
 
   // Phase 1: build the shared segment on the owner heap. The registry
   // enables the post-join leak sweep; the result is kept alive past the
-  // machine's final result drop by the inspector's dup, then published
+  // engine's final result drop by the inspector's dup, then published
   // with markShared — after this point every RC update on the segment is
   // atomic, from any thread.
-  Heap Owner(HeapMode::Rc, Opts.GcThresholdBytes);
+  Heap Owner(HeapMode::Rc, EC.GcThresholdBytes);
   Value Root = Value::unit();
   if (HasShared) {
     Owner.enableCellRegistry();
-    Machine B(*Prog, *Layout, Owner);
-    B.setResultInspector([&](Value V) {
+    std::unique_ptr<Engine> B = makeEngine(Owner);
+    B->setResultInspector([&](Value V) {
       Root = V;
       Owner.dup(V);
     });
-    RunResult BR = B.run(Builder, Opts.SharedArgs);
+    RunResult BR = B->run(Builder, EC.SharedArgs);
     if (!BR.Ok) {
       Out.Error = "shared-input builder trapped: " + BR.Error;
       return Out;
@@ -93,7 +107,7 @@ ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
       Owner.dup(Root);
   }
 
-  // Phase 2: run the workers. Each owns a private heap and machine;
+  // Phase 2: run the workers. Each owns a private heap and engine;
   // frees of foreign shared cells park in the pool.
   SharedCellPool Pool;
   Out.Workers.resize(Workers);
@@ -106,21 +120,23 @@ ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
     for (unsigned W = 0; W != Workers; ++W) {
       Threads.emplace_back([&, W] {
         WorkerOutcome &WO = Out.Workers[W];
-        Heap H(WorkerMode, Opts.GcThresholdBytes);
+        Heap H(WorkerMode, EC.GcThresholdBytes);
         H.setSharedPool(&Pool);
-        H.setLimits(Opts.Limits.Heap);
-        Machine M(*Prog, *Layout, H);
-        M.setStepLimit(Opts.Limits.Fuel);
-        M.setCallDepthLimit(Opts.Limits.MaxCallDepth);
-        if (H.mode() == HeapMode::Gc)
-          attachCollector(H, [&M](const std::function<void(Value)> &Fn) {
-            M.enumerateRoots(Fn);
+        H.setLimits(EC.Limits.Heap);
+        std::unique_ptr<Engine> M = makeEngine(H);
+        M->setStepLimit(EC.Limits.Fuel);
+        M->setCallDepthLimit(EC.Limits.MaxCallDepth);
+        if (H.mode() == HeapMode::Gc) {
+          Engine *E = M.get();
+          attachCollector(H, [E](const std::function<void(Value)> &Fn) {
+            E->enumerateRoots(Fn);
           });
-        std::vector<Value> Args = Opts.Args;
+        }
+        std::vector<Value> WArgs = Args;
         if (HasShared)
-          Args.push_back(Root);
+          WArgs.push_back(Root);
         auto W0 = std::chrono::steady_clock::now();
-        WO.Run = M.run(Entry, std::move(Args));
+        WO.Run = M->run(EntryFn, std::move(WArgs));
         WO.Seconds = secondsSince(W0);
         WO.Heap = H.stats();
         WO.HeapEmpty = H.empty();
@@ -152,4 +168,14 @@ ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
   for (const WorkerOutcome &WO : Out.Workers)
     Out.AllHeapsEmpty = Out.AllHeapsEmpty && WO.HeapEmpty;
   return Out;
+}
+
+ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
+  EngineConfig EC;
+  EC.Workers = Opts.Workers;
+  EC.SharedBuilder = Opts.SharedBuilder;
+  EC.SharedArgs = Opts.SharedArgs;
+  EC.Limits = Opts.Limits;
+  EC.GcThresholdBytes = Opts.GcThresholdBytes;
+  return run(EC, Opts.Entry, Opts.Args);
 }

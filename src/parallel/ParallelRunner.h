@@ -5,22 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A worker-pool engine that executes N abstract-machine instances
-/// concurrently — the execution layer that puts Section 2.7.2's
-/// thread-shared counts under *real* threads.
+/// A worker-pool engine that executes N engine instances concurrently —
+/// the execution layer that puts Section 2.7.2's thread-shared counts
+/// under *real* threads.
 ///
-/// The program is compiled once (parse, pipeline, layout); the resulting
-/// Program and ProgramLayout are read-only at run time and shared by all
-/// workers. Each worker owns a private Heap and Machine for its working
-/// set, so thread-local counts stay non-atomic. Optionally a **shared
-/// segment** is built first: a builder function runs on a dedicated
-/// owner heap, its result is published with `markShared` (the paper's
-/// `tshare` contract — counts flip negative, all further RC updates are
-/// atomic), and every worker receives the shared root as its entry
-/// function's final argument. Workers dup/drop/decref the segment
-/// concurrently; when one of them observes the last reference its heap
-/// parks the cell in a SharedCellPool, which the owner heap absorbs
-/// after join (see runtime/SharedPool.h).
+/// The program is compiled once (parse, pipeline, layout — plus one
+/// shared bytecode image when the VM engine is selected); the resulting
+/// Program, ProgramLayout and CompiledProgram are read-only at run time
+/// and shared by all workers. Each worker owns a private Heap and engine
+/// for its working set, so thread-local counts stay non-atomic.
+/// Optionally a **shared segment** is built first: a builder function
+/// runs on a dedicated owner heap, its result is published with
+/// `markShared` (the paper's `tshare` contract — counts flip negative,
+/// all further RC updates are atomic), and every worker receives the
+/// shared root as its entry function's final argument. Workers
+/// dup/drop/decref the segment concurrently; when one of them observes
+/// the last reference its heap parks the cell in a SharedCellPool, which
+/// the owner heap absorbs after join (see runtime/SharedPool.h).
 ///
 /// The join merges per-worker HeapStats into one combined view and
 /// enforces the garbage-free guarantee across threads: every worker heap
@@ -37,8 +38,10 @@
 #ifndef PERCEUS_PARALLEL_PARALLELRUNNER_H
 #define PERCEUS_PARALLEL_PARALLELRUNNER_H
 
-#include "eval/Machine.h"
-#include "eval/Runner.h"
+#include "bytecode/Bytecode.h"
+#include "eval/Engine.h"
+#include "eval/EngineConfig.h"
+#include "eval/Layout.h"
 #include "perceus/Pipeline.h"
 #include "support/Diagnostics.h"
 
@@ -50,25 +53,22 @@
 
 namespace perceus {
 
-/// What one parallel run should execute.
+/// Pre-EngineConfig bundle of per-run knobs; superseded by passing an
+/// EngineConfig (engine kind, workers, shared segment, limits) plus the
+/// entry/args directly to run(). Kept as a shim for old call sites.
 struct ParallelOptions {
-  unsigned Workers = 1;          ///< number of concurrent machines
+  unsigned Workers = 1;          ///< number of concurrent engines
   std::string Entry = "main";    ///< entry function every worker runs
   std::vector<Value> Args;       ///< per-worker arguments (immediates)
-
-  /// When non-empty: the builder function whose result becomes the
-  /// shared segment. It runs once on the owner heap; the result is
-  /// markShared'd and appended to every worker's argument list.
-  std::string SharedBuilder;
+  std::string SharedBuilder;     ///< optional shared-segment builder
   std::vector<Value> SharedArgs; ///< builder arguments (immediates)
-
   RunLimits Limits;              ///< applied to every worker
   size_t GcThresholdBytes = 4u << 20; ///< per-worker GC threshold
 };
 
 /// One worker's results after join.
 struct WorkerOutcome {
-  RunResult Run;         ///< the machine's run result (trap, checksum, rc)
+  RunResult Run;         ///< the engine's run result (trap, checksum, rc)
   HeapStats Heap;        ///< the worker heap's final statistics
   double Seconds = 0;    ///< this worker's own wall clock
   bool HeapEmpty = false;///< Heap::empty() held after the run
@@ -102,8 +102,17 @@ public:
   Program &program() { return *Prog; }
   const PassConfig &config() const { return Config; }
 
-  /// Executes \p Opts.Workers machines concurrently; blocks until all
-  /// joined. May be called repeatedly.
+  /// Executes \p EC.Workers engines of kind \p EC.Engine concurrently,
+  /// each calling \p Entry on \p Args (plus the shared root when
+  /// \p EC.SharedBuilder is set); blocks until all joined. May be called
+  /// repeatedly. EC's injector/sink hooks are single-engine facilities
+  /// and are not installed on worker heaps.
+  ParallelOutcome run(const EngineConfig &EC, std::string_view Entry = "main",
+                      std::vector<Value> Args = {});
+
+  /// Deprecated shim mapping the old options bundle onto an
+  /// EngineConfig; always runs the CEK engine, as before.
+  [[deprecated("pass an EngineConfig plus entry/args instead")]]
   ParallelOutcome run(const ParallelOptions &Opts);
 
 private:
@@ -111,6 +120,7 @@ private:
   DiagnosticEngine Diags;
   std::unique_ptr<Program> Prog;
   std::optional<ProgramLayout> Layout;
+  std::optional<CompiledProgram> Compiled; // VM engine, compiled on demand
   bool Ok = false;
 };
 

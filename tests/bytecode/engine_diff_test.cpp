@@ -1,0 +1,284 @@
+//===- tests/bytecode/engine_diff_test.cpp - CEK vs VM, differentially ---===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing of the two execution engines: every benchmark
+/// program under every pass configuration runs on both the CEK machine
+/// and the bytecode VM, and everything observable must agree — results
+/// (structural checksums for heap values), println output, the
+/// engine-side RC instruction counts, the heap's own statistics, reuse
+/// hits/misses, and the garbage-free guarantee (Heap::empty() after the
+/// run). Random closed lambda-1 programs from the calculus generator
+/// widen the input space beyond the hand-written set, and an exhaustive
+/// failing-allocation sweep pins the engines to the same trap point,
+/// the same unwind size, and the same (empty) final heap on every error
+/// path.
+///
+/// Engine-specific dispatch metrics (Steps, TailCalls, MaxCallDepth,
+/// MaxLocalsSlots) are exempt by design — see eval/Engine.h. Heap
+/// statistics in the tracing-GC configuration are compared only where
+/// collection timing cannot perturb them (allocation count, results):
+/// the engines' root sets have different shapes, so collections land at
+/// different allocation indices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "calculus/Generator.h"
+#include "eval/Runner.h"
+#include "programs/Programs.h"
+#include "support/Casting.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+using namespace perceus;
+
+namespace {
+
+struct DiffCase {
+  const char *Name;
+  const char *Source;
+  const char *Entry;
+  int64_t N;
+};
+
+std::vector<DiffCase> diffCases() {
+  return {
+      {"rbtree", rbtreeSource(), "bench_rbtree", 120},
+      {"rbtree-ck", rbtreeCkSource(), "bench_rbtree_ck", 60},
+      {"deriv", derivSource(), "bench_deriv", 4},
+      {"nqueens", nqueensSource(), "bench_nqueens", 6},
+      {"cfold", cfoldSource(), "bench_cfold", 6},
+      {"tmap-fbip", tmapSource(), "bench_tmap_fbip", 6},
+      {"tmap-naive", tmapSource(), "bench_tmap_naive", 6},
+      {"mapsum", mapSumSource(), "bench_mapsum", 500},
+      {"msort", msortSource(), "bench_msort", 300},
+      {"queue", queueSource(), "bench_queue", 300},
+      {"shared-tree-build", sharedTreeSource(), "build_tree", 6},
+  };
+}
+
+std::vector<std::pair<const char *, PassConfig>> allConfigs() {
+  return {{"perceus", PassConfig::perceusFull()},
+          {"perceus-noopt", PassConfig::perceusNoOpt()},
+          {"perceus-borrow", PassConfig::perceusBorrow()},
+          {"scoped-rc", PassConfig::scoped()},
+          {"gc", PassConfig::gc()}};
+}
+
+uint64_t mix(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+/// Structural checksum of a result value (closures compare shallowly —
+/// both engines represent them as the same capture cell layout, but the
+/// code pointer differs in kind, not meaning).
+uint64_t checksumValue(Value V) {
+  switch (V.Kind) {
+  case ValueKind::Int:
+    return mix(2, uint64_t(V.Int));
+  case ValueKind::Bool:
+    return mix(3, V.asBool());
+  case ValueKind::Enum:
+    return mix(1, V.enumTag());
+  case ValueKind::HeapRef: {
+    Cell *C = V.Ref;
+    if (C->H.Kind == CellKind::Closure)
+      return 0xC105;
+    uint64_t H = mix(1, C->H.Tag);
+    for (uint32_t I = 0; I != C->H.Arity; ++I)
+      H = mix(H, checksumValue(C->fields()[I]));
+    return H;
+  }
+  default:
+    return 0;
+  }
+}
+
+/// Everything one run observably produced.
+struct Observed {
+  RunResult Run;
+  HeapStats Heap;
+  uint64_t Checksum = 0;
+  bool HeapEmpty = false;
+};
+
+Observed runOn(const DiffCase &C, const PassConfig &Config,
+               EngineKind Engine, FaultInjector *FI = nullptr) {
+  EngineConfig EC = EngineConfig{}.withEngine(Engine);
+  EC.Injector = FI;
+  Runner R(C.Source, Config, EC);
+  EXPECT_TRUE(R.ok()) << R.diagnostics().str();
+  Observed O;
+  R.engine().setResultInspector(
+      [&](Value V) { O.Checksum = checksumValue(V); });
+  O.Run = R.callInt(C.Entry, {C.N});
+  O.Heap = R.heap().stats();
+  O.HeapEmpty = R.heapIsEmpty();
+  return O;
+}
+
+/// The full equality contract between two runs of the same program.
+/// \p GcMode relaxes the heap comparison to collection-timing-immune
+/// counters.
+void expectEqualObservations(const Observed &Cek, const Observed &Vm,
+                             bool GcMode) {
+  EXPECT_EQ(Cek.Run.Ok, Vm.Run.Ok) << Vm.Run.Error;
+  EXPECT_EQ(Cek.Run.Trap, Vm.Run.Trap);
+  EXPECT_EQ(Cek.Run.Output, Vm.Run.Output);
+  EXPECT_EQ(Cek.Checksum, Vm.Checksum);
+  EXPECT_EQ(Cek.Run.Result.Kind, Vm.Run.Result.Kind);
+
+  const RcInstrCounts &A = Cek.Run.Rc, &B = Vm.Run.Rc;
+  EXPECT_EQ(A.Dups, B.Dups);
+  EXPECT_EQ(A.Drops, B.Drops);
+  EXPECT_EQ(A.Frees, B.Frees);
+  EXPECT_EQ(A.DecRefs, B.DecRefs);
+  EXPECT_EQ(A.IsUniques, B.IsUniques);
+  EXPECT_EQ(A.DropReuses, B.DropReuses);
+  EXPECT_EQ(A.ImplicitDups, B.ImplicitDups);
+  EXPECT_EQ(A.ImplicitDrops, B.ImplicitDrops);
+  EXPECT_EQ(A.ImplicitDecRefs, B.ImplicitDecRefs);
+  EXPECT_EQ(Cek.Run.ReuseHits, Vm.Run.ReuseHits);
+  EXPECT_EQ(Cek.Run.ReuseMisses, Vm.Run.ReuseMisses);
+
+  const HeapStats &H = Cek.Heap, &G = Vm.Heap;
+  EXPECT_EQ(H.Allocs, G.Allocs);
+  if (!GcMode) {
+    EXPECT_EQ(H.Frees, G.Frees);
+    EXPECT_EQ(H.DupOps, G.DupOps);
+    EXPECT_EQ(H.DropOps, G.DropOps);
+    EXPECT_EQ(H.DecRefOps, G.DecRefOps);
+    EXPECT_EQ(H.NonHeapRcOps, G.NonHeapRcOps);
+    EXPECT_EQ(H.AtomicRcOps, G.AtomicRcOps);
+    EXPECT_EQ(H.IsUniqueTests, G.IsUniqueTests);
+    EXPECT_EQ(H.FailedAllocs, G.FailedAllocs);
+    EXPECT_EQ(H.UnwindFrees, G.UnwindFrees);
+    EXPECT_EQ(H.LiveBytes, G.LiveBytes);
+    EXPECT_EQ(H.PeakBytes, G.PeakBytes);
+    EXPECT_EQ(H.LiveCells, G.LiveCells);
+    EXPECT_EQ(Cek.Run.UnwoundCells, Vm.Run.UnwoundCells);
+    EXPECT_EQ(Cek.HeapEmpty, Vm.HeapEmpty);
+  }
+}
+
+TEST(EngineDiff, EveryProgramEveryConfigAgrees) {
+  for (const DiffCase &C : diffCases()) {
+    for (const auto &[Name, Config] : allConfigs()) {
+      SCOPED_TRACE(std::string(C.Name) + " / " + Name);
+      Observed Cek = runOn(C, Config, EngineKind::Cek);
+      Observed Vm = runOn(C, Config, EngineKind::Vm);
+      ASSERT_TRUE(Cek.Run.Ok) << Cek.Run.Error;
+      expectEqualObservations(Cek, Vm, Config.Mode == RcMode::None);
+      if (Config.Mode != RcMode::None) {
+        EXPECT_TRUE(Cek.HeapEmpty);
+        EXPECT_TRUE(Vm.HeapEmpty);
+      }
+    }
+  }
+}
+
+/// The exhaustive failing-allocation sweep, differentially: for every k,
+/// both engines must hit the injected failure at the same allocation,
+/// trap with OutOfMemory, unwind the same number of cells, and leave
+/// their heaps empty. The alloc sequence is part of the equivalence
+/// contract, so the k-th attempt is the same attempt on both engines.
+TEST(EngineDiff, FaultSweepTrapsAtTheSamePointOnBothEngines) {
+  std::vector<DiffCase> Cases = {
+      {"rbtree", rbtreeSource(), "bench_rbtree", 16},
+      {"msort", msortSource(), "bench_msort", 12},
+  };
+  for (const DiffCase &C : Cases) {
+    for (const auto &[Name, Config] : allConfigs()) {
+      if (Config.Mode == RcMode::None)
+        continue; // GC collection timing makes the k-th attempt differ
+      SCOPED_TRACE(std::string(C.Name) + " / " + Name);
+      Observed Clean = runOn(C, Config, EngineKind::Cek);
+      ASSERT_TRUE(Clean.Run.Ok) << Clean.Run.Error;
+      uint64_t PerRun = Clean.Heap.Allocs;
+      ASSERT_GT(PerRun, 0u);
+      ASSERT_LT(PerRun, 1500u) << "too large for the differential sweep";
+
+      for (uint64_t K = 1; K <= PerRun; ++K) {
+        SCOPED_TRACE("k=" + std::to_string(K));
+        FaultInjector FiCek = FaultInjector::failNth(K);
+        FaultInjector FiVm = FaultInjector::failNth(K);
+        Observed Cek = runOn(C, Config, EngineKind::Cek, &FiCek);
+        Observed Vm = runOn(C, Config, EngineKind::Vm, &FiVm);
+        ASSERT_FALSE(Cek.Run.Ok);
+        ASSERT_FALSE(Vm.Run.Ok);
+        ASSERT_EQ(Cek.Run.Trap, TrapKind::OutOfMemory);
+        ASSERT_EQ(Vm.Run.Trap, TrapKind::OutOfMemory);
+        ASSERT_EQ(FiCek.injected(), 1u);
+        ASSERT_EQ(FiVm.injected(), 1u);
+        expectEqualObservations(Cek, Vm, false);
+        ASSERT_TRUE(Cek.HeapEmpty);
+        ASSERT_TRUE(Vm.HeapEmpty);
+      }
+    }
+  }
+}
+
+/// Random closed lambda-1 programs widen the diff beyond the benchmark
+/// set: higher-order closures, deep match trees, reuse-token shapes the
+/// hand-written programs never produce.
+struct EngineDiffSeed : ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDiffSeed, RandomProgramsAgreeUnderEveryConfig) {
+  for (const auto &[Name, Config] : allConfigs()) {
+    SCOPED_TRACE(Name);
+    // The pipeline mutates the program, so each engine gets its own
+    // regeneration from the same seed.
+    uint64_t Sums[2];
+    HeapStats Heaps[2];
+    RunResult Runs[2];
+    bool Skip = false;
+    for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm}) {
+      auto P = std::make_unique<Program>();
+      Rng R(GetParam());
+      GeneratedTerm G = generateTerm(*P, R, 6);
+      Runner Run(*P, Config, EngineConfig{}.withEngine(Engine));
+      ASSERT_TRUE(Run.ok());
+      size_t I = Engine == EngineKind::Cek ? 0 : 1;
+      Sums[I] = ~0ull;
+      Run.engine().setResultInspector(
+          [&, I](Value V) { Sums[I] = checksumValue(V); });
+      Run.engine().setStepLimit(2000000);
+      Runs[I] = Run.engine().run(G.Func, {});
+      if (!Runs[I].Ok && Runs[I].Trap == TrapKind::OutOfFuel) {
+        Skip = true; // fuel is engine-granular; a near-limit seed can
+        break;       // exhaust one engine and not the other
+      }
+      ASSERT_TRUE(Runs[I].Ok) << Name << ": " << Runs[I].Error;
+      Heaps[I] = Run.heap().stats();
+      if (Config.Mode != RcMode::None) {
+        EXPECT_TRUE(Run.heapIsEmpty())
+            << Name << " leaked " << Run.heap().stats().LiveCells;
+      }
+    }
+    if (Skip)
+      continue;
+    EXPECT_EQ(Sums[0], Sums[1]) << Name;
+    EXPECT_EQ(Heaps[0].Allocs, Heaps[1].Allocs) << Name;
+    if (Config.Mode != RcMode::None) {
+      EXPECT_EQ(Heaps[0].Frees, Heaps[1].Frees) << Name;
+      EXPECT_EQ(Heaps[0].DupOps, Heaps[1].DupOps) << Name;
+      EXPECT_EQ(Heaps[0].DropOps, Heaps[1].DropOps) << Name;
+      EXPECT_EQ(Heaps[0].PeakBytes, Heaps[1].PeakBytes) << Name;
+    }
+    const RcInstrCounts &A = Runs[0].Rc, &B = Runs[1].Rc;
+    EXPECT_EQ(A.Dups, B.Dups) << Name;
+    EXPECT_EQ(A.Drops, B.Drops) << Name;
+    EXPECT_EQ(A.DropReuses, B.DropReuses) << Name;
+    EXPECT_EQ(Runs[0].ReuseHits, Runs[1].ReuseHits) << Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, EngineDiffSeed,
+                         ::testing::Range(uint64_t(2000), uint64_t(2080)));
+
+} // namespace

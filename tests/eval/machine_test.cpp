@@ -295,7 +295,7 @@ TEST(Machine, GcCollectsUnderPressure) {
     fun main(n) { churn(n, 0) }
   )";
   // A tiny threshold forces many collections.
-  Runner R(Src, PassConfig::gc(), /*GcThresholdBytes=*/4096);
+  Runner R(Src, PassConfig::gc(), EngineConfig{}.withGcThreshold(4096));
   RunResult Res = R.callInt("main", {20000});
   ASSERT_TRUE(Res.Ok) << Res.Error;
   EXPECT_EQ(Res.Result.Int, 40000);
@@ -318,7 +318,7 @@ TEST(Machine, GcPreservesLiveDataAcrossCollections) {
       sum(keep, 0)
     }
   )";
-  Runner R(Src, PassConfig::gc(), /*GcThresholdBytes=*/8192);
+  Runner R(Src, PassConfig::gc(), EngineConfig{}.withGcThreshold(8192));
   RunResult Res = R.callInt("main", {100});
   ASSERT_TRUE(Res.Ok) << Res.Error;
   EXPECT_EQ(Res.Result.Int, 5050);

@@ -157,7 +157,7 @@ TEST(MutRef, TracingGcCollectsTheSameCycle) {
     }
     fun main(n) { churn(n, 0) }
   )";
-  Runner R(Churn, PassConfig::gc(), /*GcThresholdBytes=*/16 * 1024);
+  Runner R(Churn, PassConfig::gc(), EngineConfig{}.withGcThreshold(16 * 1024));
   RunResult Res = R.callInt("main", {2000});
   ASSERT_TRUE(Res.Ok) << Res.Error;
   EXPECT_EQ(Res.Result.Int, 16000);

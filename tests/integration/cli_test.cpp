@@ -1,0 +1,82 @@
+//===- tests/integration/cli_test.cpp - perc exit-status contract --------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the perc CLI's process-level contract, for both engines: clean
+/// runs exit 0; trapped runs (injected OOM, fuel exhaustion, runtime
+/// errors) exit non-zero — including parallel runs where only workers
+/// trap; and unknown flag values are rejected before any execution.
+/// Scripts and CI gate on these codes, so they are part of the API.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#ifdef _WIN32
+#error "this test drives the CLI through POSIX wait status macros"
+#endif
+#include <sys/wait.h>
+
+namespace {
+
+/// Runs perc with \p ArgsLine, output discarded; returns the exit code.
+int runPerc(const std::string &ArgsLine) {
+  std::string Cmd =
+      std::string(PERCEUS_PERC_PATH) + " " + ArgsLine + " >/dev/null 2>&1";
+  int Status = std::system(Cmd.c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string prog(const char *Name) {
+  return std::string(PERCEUS_EXAMPLE_PROGRAMS_DIR) + "/" + Name;
+}
+
+TEST(PercCli, CleanRunsExitZeroOnBothEngines) {
+  for (const std::string E : {"cek", "vm"}) {
+    EXPECT_EQ(runPerc(prog("nqueens.perc") + " --engine=" + E + " 6"), 0)
+        << E;
+    EXPECT_EQ(runPerc(prog("hello.perc") + " --engine=" + E + " 5"), 0) << E;
+  }
+}
+
+TEST(PercCli, TrappedRunsExitNonZeroOnBothEngines) {
+  for (const std::string E : {"cek", "vm"}) {
+    // Injected allocation failure -> OutOfMemory trap.
+    EXPECT_EQ(runPerc(prog("nqueens.perc") + " --engine=" + E +
+                      " --fail-alloc=5 6"),
+              1)
+        << E;
+    // Fuel exhaustion -> OutOfFuel trap.
+    EXPECT_EQ(
+        runPerc(prog("nqueens.perc") + " --engine=" + E + " --fuel=100 6"), 1)
+        << E;
+    // Entry arity mismatch -> RuntimeError trap (main wants an argument).
+    EXPECT_EQ(runPerc(prog("nqueens.perc") + " --engine=" + E), 1) << E;
+  }
+}
+
+TEST(PercCli, ParallelWorkerTrapsExitNonZero) {
+  for (const std::string E : {"cek", "vm"}) {
+    std::string Shared = prog("shared_tree.perc") + " --engine=" + E +
+                         " --workers=2 --entry=bench_shared_sum"
+                         " --shared-input=build_tree --shared-arg=4";
+    EXPECT_EQ(runPerc(Shared + " 5"), 0) << E;
+    // Every worker runs out of fuel mid-traversal; the builder succeeded,
+    // so only worker traps decide the exit code.
+    EXPECT_EQ(runPerc(Shared + " --fuel=500 100000"), 1) << E;
+  }
+}
+
+TEST(PercCli, BadFlagValuesAreRejected) {
+  EXPECT_EQ(runPerc(prog("nqueens.perc") + " --engine=jit 6"), 1);
+  EXPECT_EQ(runPerc(prog("nqueens.perc") + " --config=bogus 6"), 1);
+  EXPECT_NE(runPerc("/no/such/file.perc"), 0);
+}
+
+} // namespace

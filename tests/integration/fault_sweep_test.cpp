@@ -13,7 +13,8 @@
 /// extending the paper's garbage-free guarantee (Theorems 2/4) to the
 /// error path. The same discipline is swept over step fuel (OutOfFuel)
 /// and checked for the call-depth limit (StackOverflow) and the heap
-/// governor's live-data limits.
+/// governor's live-data limits. The trap/unwind sweeps run on both
+/// execution engines — the clean-unwind guarantee is engine-independent.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,8 +61,10 @@ class FaultSweep : public ::testing::TestWithParam<size_t> {};
 /// The tentpole sweep: fail allocation k for every k, under every config.
 TEST_P(FaultSweep, EveryFailingAllocationUnwindsCleanly) {
   Case C = cases()[GetParam()];
-  for (const PassConfig &Config : allConfigs()) {
-    Runner R(C.Source, Config);
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm})
+   for (const PassConfig &Config : allConfigs()) {
+    SCOPED_TRACE(engineKindName(Engine));
+    Runner R(C.Source, Config, EngineConfig{}.withEngine(Engine));
     ASSERT_TRUE(R.ok()) << Config.name() << ": " << R.diagnostics().str();
 
     // Calibration run: how many allocation attempts does one run make?
@@ -115,8 +118,10 @@ INSTANTIATE_TEST_SUITE_P(Benchmarks, FaultSweep,
 /// Fuel exhaustion at every step count: trap is OutOfFuel, heap empty.
 TEST(FuelSweep, EveryFuelLevelUnwindsCleanly) {
   Case C{"msort", msortSource(), "bench_msort", 12};
-  for (const PassConfig &Config : allConfigs()) {
-    Runner R(C.Source, Config);
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm})
+   for (const PassConfig &Config : allConfigs()) {
+    SCOPED_TRACE(engineKindName(Engine));
+    Runner R(C.Source, Config, EngineConfig{}.withEngine(Engine));
     ASSERT_TRUE(R.ok());
     RunResult Clean = R.callInt(C.Entry, {C.N});
     ASSERT_TRUE(Clean.Ok) << Clean.Error;
@@ -163,8 +168,10 @@ fun main(n) { len(build(n), 0) }
 )";
 
 TEST(DepthLimit, NonTailRecursionTrapsAndUnwinds) {
-  for (const PassConfig &Config : allConfigs()) {
-    Runner R(DeepSource, Config);
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm})
+   for (const PassConfig &Config : allConfigs()) {
+    SCOPED_TRACE(engineKindName(Engine));
+    Runner R(DeepSource, Config, EngineConfig{}.withEngine(Engine));
     ASSERT_TRUE(R.ok());
     RunLimits L;
     L.MaxCallDepth = 10;
@@ -189,14 +196,18 @@ TEST(DepthLimit, TailCallsDoNotConsumeDepth) {
     fun loop(i, acc) { if i == 0 then acc else loop(i - 1, acc + i) }
     fun main(n) { loop(n, 0) }
   )";
-  Runner R(Src, PassConfig::perceusFull());
-  ASSERT_TRUE(R.ok());
-  RunLimits L;
-  L.MaxCallDepth = 4; // far fewer than the 100k iterations below
-  R.setLimits(L);
-  RunResult Res = R.callInt("main", {100000});
-  ASSERT_TRUE(Res.Ok) << Res.Error;
-  EXPECT_EQ(Res.Result.Int, 5000050000ll);
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm}) {
+    SCOPED_TRACE(engineKindName(Engine));
+    Runner R(Src, PassConfig::perceusFull(),
+             EngineConfig{}.withEngine(Engine));
+    ASSERT_TRUE(R.ok());
+    RunLimits L;
+    L.MaxCallDepth = 4; // far fewer than the 100k iterations below
+    R.setLimits(L);
+    RunResult Res = R.callInt("main", {100000});
+    ASSERT_TRUE(Res.Ok) << Res.Error;
+    EXPECT_EQ(Res.Result.Int, 5000050000ll);
+  }
 }
 
 TEST(HeapGovernor, LiveBytesLimitTrapsRcConfigs) {
@@ -240,7 +251,7 @@ TEST(HeapGovernor, EmergencyCollectionRescuesGcMode) {
   )";
   // A huge threshold disables routine collections; only the governor's
   // emergency collections can keep the run under the cap.
-  Runner R(Churn, PassConfig::gc(), /*GcThresholdBytes=*/64u << 20);
+  Runner R(Churn, PassConfig::gc(), EngineConfig{}.withGcThreshold(64u << 20));
   ASSERT_TRUE(R.ok());
   RunLimits L;
   L.Heap.MaxLiveBytes = 16 * 1024;
@@ -298,8 +309,10 @@ TEST(HeapGovernor, MaxLiveCellsLimit) {
 
 TEST(ProbabilisticFaults, RandomOutagesNeverLeak) {
   Case C{"rbtree", rbtreeSource(), "bench_rbtree", 20};
-  for (const PassConfig &Config : allConfigs()) {
-    Runner R(C.Source, Config);
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm})
+   for (const PassConfig &Config : allConfigs()) {
+    SCOPED_TRACE(engineKindName(Engine));
+    Runner R(C.Source, Config, EngineConfig{}.withEngine(Engine));
     ASSERT_TRUE(R.ok());
     for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
       FaultInjector FI = FaultInjector::probabilistic(Seed, 1, 32);
@@ -352,9 +365,11 @@ TEST(RuntimeErrorUnwind, TrapsLeaveTheHeapEmpty) {
         fun main(n) { val xs = Cons(n, Nil)  abort() }
       )"},
   };
-  for (const Bad &B : Bads) {
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm})
+   for (const Bad &B : Bads) {
     for (const PassConfig &Config : allConfigs()) {
-      Runner R(B.Source, Config);
+      SCOPED_TRACE(engineKindName(Engine));
+      Runner R(B.Source, Config, EngineConfig{}.withEngine(Engine));
       ASSERT_TRUE(R.ok()) << B.Name << "/" << Config.name() << ": "
                           << R.diagnostics().str();
       RunResult Res = R.callInt("main", {5});

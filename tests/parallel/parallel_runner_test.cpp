@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 //
 // End-to-end coverage of the parallel execution layer: compile once, run
-// N machines concurrently; the shared segment is built once, tshare'd,
+// N engines concurrently; the shared segment is built once, tshare'd,
 // traversed by every worker, and freed exactly once; and the garbage-
 // free guarantee holds for every per-worker heap and the shared owner
-// heap after every run — including runs where workers trap.
+// heap after every run — including runs where workers trap. The whole
+// suite is parameterized over the engine kind so the bytecode VM is held
+// to exactly the same contract as the CEK machine.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,24 +25,32 @@ using namespace perceus;
 
 namespace {
 
-ParallelOptions opts(unsigned Workers, std::string Entry,
-                     std::vector<int64_t> Args) {
-  ParallelOptions O;
-  O.Workers = Workers;
-  O.Entry = std::move(Entry);
+std::vector<Value> ints(std::vector<int64_t> Args) {
+  std::vector<Value> Vals;
   for (int64_t A : Args)
-    O.Args.push_back(Value::makeInt(A));
-  return O;
+    Vals.push_back(Value::makeInt(A));
+  return Vals;
 }
 
-TEST(ParallelRunner, WorkersMatchSingleThreadedResult) {
+class ParallelRunnerTest : public ::testing::TestWithParam<EngineKind> {
+protected:
+  EngineConfig cfg(unsigned Workers) const {
+    EngineConfig EC;
+    EC.Engine = GetParam();
+    EC.Workers = Workers;
+    return EC;
+  }
+};
+
+TEST_P(ParallelRunnerTest, WorkersMatchSingleThreadedResult) {
   ParallelRunner PR(rbtreeSource(), PassConfig::perceusFull());
   ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
-  ParallelOutcome Out = PR.run(opts(4, "bench_rbtree", {400}));
+  ParallelOutcome Out = PR.run(cfg(4), "bench_rbtree", ints({400}));
   ASSERT_TRUE(Out.Ok) << Out.Error;
   ASSERT_EQ(Out.Workers.size(), 4u);
 
-  Runner Single(rbtreeSource(), PassConfig::perceusFull());
+  Runner Single(rbtreeSource(), PassConfig::perceusFull(),
+                EngineConfig{}.withEngine(GetParam()));
   ASSERT_TRUE(Single.ok());
   RunResult Ref = Single.callInt("bench_rbtree", {400});
   ASSERT_TRUE(Ref.Ok);
@@ -57,26 +67,27 @@ TEST(ParallelRunner, WorkersMatchSingleThreadedResult) {
   EXPECT_EQ(Out.Combined.LiveCells, 0u);
 }
 
-TEST(ParallelRunner, SharedSegmentIsBuiltOnceAndFreedExactlyOnce) {
+TEST_P(ParallelRunnerTest, SharedSegmentIsBuiltOnceAndFreedExactlyOnce) {
   ParallelRunner PR(sharedTreeSource(), PassConfig::perceusFull());
   ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
 
-  ParallelOptions O = opts(8, "bench_shared_sum", {50});
-  O.SharedBuilder = "build_tree";
-  O.SharedArgs = {Value::makeInt(8)};
-  ParallelOutcome Out = PR.run(O);
+  EngineConfig EC = cfg(8);
+  EC.SharedBuilder = "build_tree";
+  EC.SharedArgs = {Value::makeInt(8)};
+  ParallelOutcome Out = PR.run(EC, "bench_shared_sum", ints({50}));
   ASSERT_TRUE(Out.Ok) << Out.Error;
 
   // Reference: the same traversal single-threaded, tree built locally.
-  Runner Single(sharedTreeSource(), PassConfig::perceusFull());
+  Runner Single(sharedTreeSource(), PassConfig::perceusFull(),
+                EngineConfig{}.withEngine(GetParam()));
   ASSERT_TRUE(Single.ok());
   Value Tree;
-  Single.machine().setResultInspector([&](Value V) {
+  Single.engine().setResultInspector([&](Value V) {
     Tree = V;
     Single.heap().dup(V);
   });
   ASSERT_TRUE(Single.callInt("build_tree", {8}).Ok);
-  Single.machine().setResultInspector(nullptr);
+  Single.engine().setResultInspector(nullptr);
   RunResult Ref =
       Single.call("bench_shared_sum", {Value::makeInt(50), Tree});
   ASSERT_TRUE(Ref.Ok);
@@ -93,15 +104,15 @@ TEST(ParallelRunner, SharedSegmentIsBuiltOnceAndFreedExactlyOnce) {
       << "every shared cell freed exactly once";
 }
 
-TEST(ParallelRunner, TrappedWorkersLeakNothingAnywhere) {
+TEST_P(ParallelRunnerTest, TrappedWorkersLeakNothingAnywhere) {
   ParallelRunner PR(sharedTreeSource(), PassConfig::perceusFull());
   ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
 
-  ParallelOptions O = opts(4, "bench_shared_sum", {100000});
-  O.SharedBuilder = "build_tree";
-  O.SharedArgs = {Value::makeInt(6)};
-  O.Limits.Fuel = 20000; // trap every worker mid-traversal
-  ParallelOutcome Out = PR.run(O);
+  EngineConfig EC = cfg(4);
+  EC.SharedBuilder = "build_tree";
+  EC.SharedArgs = {Value::makeInt(6)};
+  EC.Limits.Fuel = 20000; // trap every worker mid-traversal
+  ParallelOutcome Out = PR.run(EC, "bench_shared_sum", ints({100000}));
 
   EXPECT_FALSE(Out.Ok);
   for (const WorkerOutcome &W : Out.Workers) {
@@ -116,10 +127,10 @@ TEST(ParallelRunner, TrappedWorkersLeakNothingAnywhere) {
   EXPECT_TRUE(Out.AllHeapsEmpty);
 }
 
-TEST(ParallelRunner, CombinedStatsAreTheFieldwiseSum) {
+TEST_P(ParallelRunnerTest, CombinedStatsAreTheFieldwiseSum) {
   ParallelRunner PR(derivSource(), PassConfig::perceusFull());
   ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
-  ParallelOutcome Out = PR.run(opts(3, "bench_deriv", {4}));
+  ParallelOutcome Out = PR.run(cfg(3), "bench_deriv", ints({4}));
   ASSERT_TRUE(Out.Ok) << Out.Error;
 
   HeapStats Sum;
@@ -131,39 +142,87 @@ TEST(ParallelRunner, CombinedStatsAreTheFieldwiseSum) {
   EXPECT_EQ(Out.Combined.PeakBytes, Sum.PeakBytes);
 }
 
-TEST(ParallelRunner, GcConfigRunsWithoutSharedInput) {
+TEST_P(ParallelRunnerTest, GcConfigRunsWithoutSharedInput) {
   ParallelRunner PR(nqueensSource(), PassConfig::gc());
   ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
-  ParallelOutcome Out = PR.run(opts(2, "bench_nqueens", {6}));
+  ParallelOutcome Out = PR.run(cfg(2), "bench_nqueens", ints({6}));
   ASSERT_TRUE(Out.Ok) << Out.Error;
   for (const WorkerOutcome &W : Out.Workers)
     EXPECT_EQ(W.Run.Result.Int, 4); // 6-queens has 4 solutions
 }
 
-TEST(ParallelRunner, GcConfigRejectsSharedInput) {
+TEST_P(ParallelRunnerTest, GcConfigRejectsSharedInput) {
   ParallelRunner PR(sharedTreeSource(), PassConfig::gc());
   ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
-  ParallelOptions O = opts(2, "bench_shared_sum", {5});
-  O.SharedBuilder = "build_tree";
-  O.SharedArgs = {Value::makeInt(4)};
-  ParallelOutcome Out = PR.run(O);
+  EngineConfig EC = cfg(2);
+  EC.SharedBuilder = "build_tree";
+  EC.SharedArgs = {Value::makeInt(4)};
+  ParallelOutcome Out = PR.run(EC, "bench_shared_sum", ints({5}));
   EXPECT_FALSE(Out.Ok);
   EXPECT_NE(Out.Error.find("reference-counting"), std::string::npos);
 }
 
-TEST(ParallelRunner, UnknownEntryAndBuilderAreReportedNotRun) {
+TEST_P(ParallelRunnerTest, UnknownEntryAndBuilderAreReportedNotRun) {
   ParallelRunner PR(rbtreeSource(), PassConfig::perceusFull());
   ASSERT_TRUE(PR.ok());
-  ParallelOutcome Out = PR.run(opts(2, "no_such_fn", {}));
+  ParallelOutcome Out = PR.run(cfg(2), "no_such_fn", {});
   EXPECT_FALSE(Out.Ok);
   EXPECT_NE(Out.Error.find("no such entry"), std::string::npos);
 
-  ParallelOptions O = opts(2, "bench_rbtree", {10});
-  O.SharedBuilder = "no_such_builder";
-  Out = PR.run(O);
+  EngineConfig EC = cfg(2);
+  EC.SharedBuilder = "no_such_builder";
+  Out = PR.run(EC, "bench_rbtree", ints({10}));
   EXPECT_FALSE(Out.Ok);
   EXPECT_NE(Out.Error.find("no such shared-input builder"),
             std::string::npos);
 }
+
+// Mixing engines across run() calls on one ParallelRunner must work:
+// the bytecode image is compiled lazily on the first VM run and the
+// results must agree with the CEK run that preceded it.
+TEST(ParallelRunner, EnginesAgreeAcrossRunsOfOneRunner) {
+  ParallelRunner PR(nqueensSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+  EngineConfig Cek;
+  Cek.Workers = 2;
+  EngineConfig Vm = Cek;
+  Vm.Engine = EngineKind::Vm;
+  ParallelOutcome A = PR.run(Cek, "bench_nqueens", ints({6}));
+  ParallelOutcome B = PR.run(Vm, "bench_nqueens", ints({6}));
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_EQ(A.Workers[0].Run.Result.Int, B.Workers[0].Run.Result.Int);
+  EXPECT_EQ(A.Combined.Allocs, B.Combined.Allocs);
+  EXPECT_EQ(A.Combined.DupOps, B.Combined.DupOps);
+  EXPECT_EQ(A.Combined.DropOps, B.Combined.DropOps);
+  EXPECT_TRUE(B.AllHeapsEmpty);
+}
+
+// The deprecated options-bundle overload must keep working while call
+// sites migrate; it always selects the CEK engine.
+TEST(ParallelRunner, DeprecatedOptionsOverloadStillRuns) {
+  ParallelRunner PR(nqueensSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+  ParallelOptions O;
+  O.Workers = 2;
+  O.Entry = "bench_nqueens";
+  O.Args = ints({6});
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  ParallelOutcome Out = PR.run(O);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_EQ(Out.Workers[0].Run.Result.Int, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ParallelRunnerTest,
+                         ::testing::Values(EngineKind::Cek, EngineKind::Vm),
+                         [](const ::testing::TestParamInfo<EngineKind> &I) {
+                           return std::string(engineKindName(I.param));
+                         });
 
 } // namespace
