@@ -170,6 +170,19 @@ std::string BenchReport::json() const {
     writeHeapStatsJson(W, R.M.Heap);
     W.key("run");
     writeRunResultJson(W, R.M.Run);
+    if (R.M.Svc.Present) {
+      W.key("service")
+          .beginObject()
+          .member("status", std::string_view(R.M.Svc.Status))
+          .member("executed", R.M.Svc.Executed)
+          .member("cache_hit", R.M.Svc.CacheHit)
+          .member("worker", R.M.Svc.Worker)
+          .member("queue_ms", R.M.Svc.QueueMs)
+          .member("run_ms", R.M.Svc.RunMs)
+          .member("retained_bytes", R.M.Svc.RetainedBytes)
+          .member("heap_empty", R.M.Svc.HeapEmpty)
+          .endObject();
+    }
     W.endObject();
   }
   W.endArray().endObject();
@@ -219,6 +232,24 @@ bool requireKey(const JsonValue &Obj, const char *Key, JsonValue::Kind K,
   if (Obj.find(Key, K))
     return true;
   Err = std::string("missing or mistyped '") + Key + "' in " + Where;
+  return false;
+}
+
+/// The closed set of trap names both schemas may carry; a typo'd or
+/// unknown kind must be diagnosed, not silently accepted downstream.
+bool knownTrapName(std::string_view Name) {
+  for (const char *K : {"ok", "out-of-memory", "out-of-fuel",
+                        "stack-overflow", "runtime-error", "deadline"})
+    if (Name == K)
+      return true;
+  return false;
+}
+
+/// The closed set of admission outcomes a 'service' object may report.
+bool knownServiceStatus(std::string_view Name) {
+  for (const char *K : {"ok", "queue-full", "shedding", "compile-error"})
+    if (Name == K)
+      return true;
   return false;
 }
 
@@ -278,6 +309,25 @@ std::string perceus::bench::validateBenchJson(std::string_view Text) {
     if (!requireKey(*Run, "ok", K::Bool, "run", Err) ||
         !requireKey(*Run, "trap", K::String, "run", Err))
       return Err;
+    if (!knownTrapName(Run->find("trap", K::String)->Str))
+      return "unknown trap kind '" + Run->find("trap", K::String)->Str +
+             "' in run";
+    // Service-mode rows (bench_service) carry an optional admission /
+    // latency object; when present its shape is pinned too.
+    if (const JsonValue *Svc = R.find("service", K::Object)) {
+      if (!requireKey(*Svc, "status", K::String, "service", Err) ||
+          !requireKey(*Svc, "executed", K::Bool, "service", Err) ||
+          !requireKey(*Svc, "cache_hit", K::Bool, "service", Err) ||
+          !requireKey(*Svc, "worker", K::Number, "service", Err) ||
+          !requireKey(*Svc, "queue_ms", K::Number, "service", Err) ||
+          !requireKey(*Svc, "run_ms", K::Number, "service", Err) ||
+          !requireKey(*Svc, "retained_bytes", K::Number, "service", Err) ||
+          !requireKey(*Svc, "heap_empty", K::Bool, "service", Err))
+        return Err;
+      if (!knownServiceStatus(Svc->find("status", K::String)->Str))
+        return "unknown service status '" +
+               Svc->find("status", K::String)->Str + "'";
+    }
     for (const char *Key : RunKeys)
       if (!requireKey(*Run, Key, K::Number, "run", Err))
         return Err;

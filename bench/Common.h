@@ -42,6 +42,22 @@ struct BenchProgram {
 /// The five programs of Figure 9.
 std::vector<BenchProgram> figure9Programs(double Scale);
 
+/// Service-mode telemetry attached to a row (bench_service): admission
+/// outcome and latency split. Rows with Present=false omit the object.
+/// Mirrors the "service" object of perceus-stats-v1 without depending on
+/// src/service — bench stays linkable without the service library.
+struct ServiceInfo {
+  bool Present = false;
+  std::string Status = "ok"; ///< rejectKindName() vocabulary
+  bool Executed = true;
+  bool CacheHit = false;
+  bool HeapEmpty = true;
+  uint64_t Worker = 0;
+  double QueueMs = 0;
+  double RunMs = 0;
+  uint64_t RetainedBytes = 0;
+};
+
 /// One measured cell of the table.
 struct Measurement {
   bool Ran = false;
@@ -50,6 +66,7 @@ struct Measurement {
   int64_t Checksum = 0;
   HeapStats Heap;
   RunResult Run;
+  ServiceInfo Svc; ///< service-mode rows only (see ServiceInfo)
 };
 
 /// Runs \p Prog under \p Config on the engine \p EC selects, once, and

@@ -22,6 +22,7 @@
 ///   --dump=FN         print FN after the pipeline instead of running
 ///   --stages=FN       print FN at every Figure 1 pipeline stage
 ///   --fuel=N          trap after N machine steps (out-of-fuel)
+///   --deadline-ms=N   trap when the run exceeds N ms of wall clock
 ///   --max-depth=N     trap at N live non-tail calls (stack-overflow)
 ///   --max-heap=N      trap when live heap would exceed N bytes
 ///   --max-cells=N     trap when live heap would exceed N cells
@@ -35,6 +36,22 @@
 ///                     (repeatable)
 ///   ARGS              integer arguments for the entry function
 ///
+/// Service batch mode (the long-lived session engine, src/service):
+///
+///   perc FILE.perc --serve [--requests=FILE] [--serve-workers=N]
+///        [--queue-cap=N] [--max-retained=BYTES]
+///
+/// compiles the program once and executes one request per input line
+/// (stdin by default) against pooled worker heaps, printing one
+/// perceus-stats-v1 JSON document per request. A request line is
+///
+///   ENTRY [ARGS...] [--fuel=N] [--deadline-ms=N] [--fail-alloc=N]
+///         [--max-depth=N] [--engine=cek|vm] [--config=NAME]
+///
+/// (`#` starts a comment; blank lines are skipped). Rejections and traps
+/// are structured results in the JSON, not process failures: the exit
+/// code is 0 whenever serving itself worked.
+///
 //===----------------------------------------------------------------------===//
 
 #include "eval/Runner.h"
@@ -43,13 +60,18 @@
 #include "lang/Resolver.h"
 #include "parallel/ParallelRunner.h"
 #include "perceus/Pipeline.h"
+#include "service/Service.h"
+#include "service/ServiceJson.h"
 #include "support/FaultInjector.h"
 #include "support/JsonWriter.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,11 +85,29 @@ void usage() {
                "usage: perc FILE.perc [--config=NAME] [--engine=cek|vm] "
                "[--entry=NAME] [--stats] [--stats-json=FILE] [--pass-stats]\n"
                "            [--dump=FN] [--stages=FN] "
-               "[--fuel=N] [--max-depth=N] [--max-heap=N]\n"
+               "[--fuel=N] [--deadline-ms=N] [--max-depth=N] [--max-heap=N]\n"
                "            [--max-cells=N] [--alloc-budget=N] "
                "[--fail-alloc=N] [--workers=N]\n"
                "            [--shared-input=FN] [--shared-arg=N] "
-               "[ARGS...]\n");
+               "[ARGS...]\n"
+               "       perc FILE.perc --serve [--requests=FILE] "
+               "[--serve-workers=N] [--queue-cap=N] [--max-retained=BYTES]\n");
+}
+
+bool parsePassConfig(const char *Name, PassConfig &Out) {
+  if (!std::strcmp(Name, "perceus"))
+    Out = PassConfig::perceusFull();
+  else if (!std::strcmp(Name, "perceus-noopt"))
+    Out = PassConfig::perceusNoOpt();
+  else if (!std::strcmp(Name, "perceus-borrow"))
+    Out = PassConfig::perceusBorrow();
+  else if (!std::strcmp(Name, "scoped-rc"))
+    Out = PassConfig::scoped();
+  else if (!std::strcmp(Name, "gc"))
+    Out = PassConfig::gc();
+  else
+    return false;
+  return true;
 }
 
 bool parseCount(const char *A, const char *Flag, uint64_t &Out) {
@@ -145,6 +185,139 @@ bool writeStatsJson(const std::string &Path, const std::string &File,
   return true;
 }
 
+/// One request line: ENTRY [ARGS...] with optional per-request overrides.
+/// Returns false (with a stderr note) on a malformed line, which is
+/// skipped — one bad line must not kill a batch.
+bool parseRequestLine(const std::string &Line, size_t LineNo,
+                      ServiceRequest &R) {
+  std::istringstream Toks(Line);
+  std::string Tok;
+  bool HaveEntry = false;
+  auto matchNum = [&](const char *Flag, uint64_t &Out) {
+    size_t Len = std::strlen(Flag);
+    if (Tok.compare(0, Len, Flag) != 0)
+      return false;
+    char *End = nullptr;
+    Out = std::strtoull(Tok.c_str() + Len, &End, 10);
+    if (*End != '\0') {
+      std::fprintf(stderr, "serve: line %zu: %s expects a number\n", LineNo,
+                   Flag);
+      Out = 0;
+    }
+    return true;
+  };
+  while (Toks >> Tok) {
+    if (Tok[0] == '#')
+      break;
+    if (matchNum("--fuel=", R.Limits.Fuel) ||
+        matchNum("--deadline-ms=", R.Limits.DeadlineMs) ||
+        matchNum("--max-depth=", R.Limits.MaxCallDepth) ||
+        matchNum("--fail-alloc=", R.FailAlloc))
+      continue;
+    if (Tok.compare(0, 9, "--engine=") == 0) {
+      if (!parseEngineKind(Tok.c_str() + 9, R.Engine)) {
+        std::fprintf(stderr, "serve: line %zu: unknown engine '%s'\n",
+                     LineNo, Tok.c_str() + 9);
+        return false;
+      }
+      continue;
+    }
+    if (Tok.compare(0, 9, "--config=") == 0) {
+      if (!parsePassConfig(Tok.c_str() + 9, R.Config)) {
+        std::fprintf(stderr, "serve: line %zu: unknown config '%s'\n",
+                     LineNo, Tok.c_str() + 9);
+        return false;
+      }
+      continue;
+    }
+    if (!HaveEntry) {
+      R.Entry = Tok;
+      HaveEntry = true;
+    } else {
+      R.Args.push_back(Value::makeInt(std::atoll(Tok.c_str())));
+    }
+  }
+  return HaveEntry;
+}
+
+int serveMain(const std::string &Source, const PassConfig &DefConfig,
+              EngineKind DefEngine, const RunLimits &DefLimits,
+              const std::string &RequestsPath, unsigned Workers,
+              size_t QueueCap, size_t MaxRetained) {
+  std::ifstream FileIn;
+  std::istream *In = &std::cin;
+  if (RequestsPath != "-") {
+    FileIn.open(RequestsPath);
+    if (!FileIn) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   RequestsPath.c_str());
+      return 1;
+    }
+    In = &FileIn;
+  }
+
+  ServiceConfig SC;
+  SC.Workers = Workers;
+  SC.QueueCapacity = QueueCap;
+  SC.MaxRetainedBytes = MaxRetained;
+  Service S(SC);
+
+  // Compile failures reject every request identically; diagnose once on
+  // stderr and make the batch exit nonzero.
+  bool CompileFailed = false;
+  uint64_t OkCount = 0, Trapped = 0, Rejected = 0;
+
+  // The CLI applies backpressure by keeping at most the queue capacity
+  // in flight; responses print in submission order, one JSON per line.
+  std::deque<std::future<ServiceResponse>> InFlight;
+  auto drainOne = [&] {
+    ServiceResponse R = InFlight.front().get();
+    InFlight.pop_front();
+    if (R.Reject != RejectKind::None) {
+      ++Rejected;
+      if (R.Reject == RejectKind::CompileError && !CompileFailed) {
+        CompileFailed = true;
+        std::fprintf(stderr, "%s", R.Error.c_str());
+      }
+    } else if (R.Run.Ok) {
+      ++OkCount;
+    } else {
+      ++Trapped;
+    }
+    std::printf("%s\n", serviceResponseJson(R).c_str());
+  };
+
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(*In, Line)) {
+    ++LineNo;
+    ServiceRequest R;
+    R.Source = Source;
+    R.Config = DefConfig;
+    R.Engine = DefEngine;
+    R.Limits = DefLimits;
+    if (!parseRequestLine(Line, LineNo, R))
+      continue;
+    if (InFlight.size() >= SC.QueueCapacity)
+      drainOne();
+    InFlight.push_back(S.submit(std::move(R)));
+  }
+  while (!InFlight.empty())
+    drainOne();
+  S.stop();
+
+  ServiceStats ST = S.stats();
+  std::fprintf(stderr,
+               "[serve] requests=%llu ok=%llu traps=%llu rejected=%llu "
+               "cache-hits=%llu compiles=%llu trimmed=%lluB\n",
+               (unsigned long long)ST.Submitted, (unsigned long long)OkCount,
+               (unsigned long long)Trapped, (unsigned long long)Rejected,
+               (unsigned long long)ST.CacheHits,
+               (unsigned long long)ST.CacheCompiles,
+               (unsigned long long)ST.TrimmedBytes);
+  return CompileFailed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -155,6 +328,9 @@ int main(int Argc, char **Argv) {
   EngineConfig EC;
   RunLimits Limits;
   uint64_t MaxHeapBytes = 0, FailAlloc = 0, Workers = 0, SharedArg = 0;
+  bool Serve = false;
+  std::string Requests = "-";
+  uint64_t ServeWorkers = 1, QueueCap = 64, MaxRetained = 8u << 20;
   std::string SharedInput;
   std::vector<int64_t> SharedArgs;
   std::vector<int64_t> Args;
@@ -162,19 +338,8 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
     if (std::strncmp(A, "--config=", 9) == 0) {
-      const char *Name = A + 9;
-      if (!std::strcmp(Name, "perceus"))
-        Config = PassConfig::perceusFull();
-      else if (!std::strcmp(Name, "perceus-noopt"))
-        Config = PassConfig::perceusNoOpt();
-      else if (!std::strcmp(Name, "perceus-borrow"))
-        Config = PassConfig::perceusBorrow();
-      else if (!std::strcmp(Name, "scoped-rc"))
-        Config = PassConfig::scoped();
-      else if (!std::strcmp(Name, "gc"))
-        Config = PassConfig::gc();
-      else {
-        std::fprintf(stderr, "error: unknown config '%s'\n", Name);
+      if (!parsePassConfig(A + 9, Config)) {
+        std::fprintf(stderr, "error: unknown config '%s'\n", A + 9);
         return 1;
       }
     } else if (std::strncmp(A, "--engine=", 9) == 0) {
@@ -201,7 +366,16 @@ int main(int Argc, char **Argv) {
       SharedArgs.push_back(static_cast<int64_t>(SharedArg));
     } else if (parseCount(A, "--workers=", Workers)) {
       // handled below
+    } else if (!std::strcmp(A, "--serve")) {
+      Serve = true;
+    } else if (std::strncmp(A, "--requests=", 11) == 0) {
+      Requests = A + 11;
+    } else if (parseCount(A, "--serve-workers=", ServeWorkers) ||
+               parseCount(A, "--queue-cap=", QueueCap) ||
+               parseCount(A, "--max-retained=", MaxRetained)) {
+      // handled in serve mode below
     } else if (parseCount(A, "--fuel=", Limits.Fuel) ||
+               parseCount(A, "--deadline-ms=", Limits.DeadlineMs) ||
                parseCount(A, "--max-depth=", Limits.MaxCallDepth) ||
                parseCount(A, "--max-heap=", MaxHeapBytes) ||
                parseCount(A, "--max-cells=", Limits.Heap.MaxLiveCells) ||
@@ -230,6 +404,12 @@ int main(int Argc, char **Argv) {
   std::stringstream Buf;
   Buf << In.rdbuf();
   std::string Source = Buf.str();
+
+  if (Serve)
+    return serveMain(Source, Config, EC.Engine, Limits, Requests,
+                     static_cast<unsigned>(ServeWorkers),
+                     static_cast<size_t>(QueueCap),
+                     static_cast<size_t>(MaxRetained));
 
   if (PassStats) {
     Program P;

@@ -102,6 +102,9 @@ RunResult VM::run(FuncId F, std::vector<Value> Args) {
   Sink = H.statsSink();
   Trapped = false;
   CallDepth = 0;
+  if (DeadlineMs)
+    DeadlineAt = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(DeadlineMs);
   Frames.clear();
   Result = Value::unit();
 
@@ -154,6 +157,7 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
   uint32_t Pc = 0;
   uint64_t Steps = 0;
   const uint64_t Fuel = StepLimit;
+  const bool HasDeadline = DeadlineMs != 0;
   Instr I{};
 
 #define VM_TRAP(Msg, Kind)                                                     \
@@ -167,6 +171,9 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
     ++Steps;                                                                   \
     if (Fuel && Steps > Fuel)                                                  \
       VM_TRAP("step limit exceeded (out of fuel)", TrapKind::OutOfFuel);       \
+    if (HasDeadline && (Steps & (DeadlineCheckInterval - 1)) == 0 &&           \
+        std::chrono::steady_clock::now() >= DeadlineAt)                        \
+      VM_TRAP("wall-clock deadline exceeded", TrapKind::Deadline);             \
   } while (0)
 
   // Re-derive the cached frame pointer / chunk pointers after anything

@@ -27,6 +27,7 @@
 #include "eval/Engine.h"
 #include "runtime/Heap.h"
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -48,6 +49,10 @@ public:
   void setStepLimit(uint64_t Limit) override { StepLimit = Limit; }
 
   void setCallDepthLimit(uint64_t Limit) override { CallDepthLimit = Limit; }
+
+  /// Wall-clock budget per run (0 = none); armed at run() entry and
+  /// checked every DeadlineCheckInterval instructions.
+  void setDeadline(uint64_t Ms) override { DeadlineMs = Ms; }
 
   /// Enumerates every register of every live frame, plus the pending
   /// result.
@@ -87,6 +92,8 @@ private:
   uint64_t StepLimit = 0;
   uint64_t CallDepthLimit = 0;
   uint64_t CallDepth = 0; // live non-tail frames
+  uint64_t DeadlineMs = 0;
+  std::chrono::steady_clock::time_point DeadlineAt{};
   bool Trapped = false;
   std::function<void(Value)> ResultInspector;
 };

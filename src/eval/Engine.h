@@ -44,6 +44,7 @@ enum class TrapKind : uint8_t {
   OutOfFuel,     ///< the step-fuel limit was exhausted
   StackOverflow, ///< the call-depth limit was exceeded
   RuntimeError,  ///< dynamic error: arity/tag/type mismatch, div-0, abort
+  Deadline,      ///< the wall-clock deadline expired mid-run
 };
 
 /// Short stable name ("ok", "out-of-memory", ...) for messages/tables.
@@ -122,6 +123,17 @@ public:
   /// with StackOverflow (0 = unlimited). Tail calls reuse their frame
   /// and never count against the limit.
   virtual void setCallDepthLimit(uint64_t Limit) = 0;
+
+  /// Wall-clock budget per run in milliseconds (0 = none). The clock
+  /// starts at the next run() entry; when it expires the engine traps
+  /// with TrapKind::Deadline and clean-unwinds like every other trap.
+  /// The check is step-batched (one steady_clock read every
+  /// DeadlineCheckInterval dispatches), so expiry is detected within a
+  /// batch, not on the exact instruction.
+  virtual void setDeadline(uint64_t Ms) = 0;
+
+  /// How many dispatches both engines run between deadline clock reads.
+  static constexpr uint64_t DeadlineCheckInterval = 1024;
 
   /// Enumerates every GC root the engine currently holds.
   virtual void enumerateRoots(const std::function<void(Value)> &Fn) const = 0;

@@ -53,6 +53,9 @@ struct RunLimits {
   HeapLimits Heap;            ///< live bytes / live cells / alloc budget
   uint64_t Fuel = 0;          ///< max engine dispatches (0 = unlimited)
   uint64_t MaxCallDepth = 0;  ///< max live non-tail frames (0 = unlimited)
+  uint64_t DeadlineMs = 0;    ///< wall-clock budget per run in ms (0 =
+                              ///< none); expiry traps with
+                              ///< TrapKind::Deadline, clean-unwound
 
   static RunLimits unlimited() { return {}; }
 };

@@ -26,6 +26,8 @@ const char *perceus::trapKindName(TrapKind K) {
     return "stack-overflow";
   case TrapKind::RuntimeError:
     return "runtime-error";
+  case TrapKind::Deadline:
+    return "deadline";
   }
   return "unknown";
 }
@@ -71,6 +73,11 @@ RunResult Machine::run(FuncId F, std::vector<Value> Args) {
   Sink = H.statsSink();
   Trapped = false;
   CallDepth = 0;
+  if (DeadlineMs) {
+    DeadlineAt = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(DeadlineMs);
+    DeadlineCountdown = DeadlineCheckInterval;
+  }
   Locals.clear();
   Operands.clear();
   Konts.clear();
@@ -124,6 +131,13 @@ bool Machine::step() {
     if (StepLimit && Run->Steps > StepLimit) {
       trap("step limit exceeded (out of fuel)", TrapKind::OutOfFuel);
       return false;
+    }
+    if (DeadlineMs && --DeadlineCountdown == 0) {
+      DeadlineCountdown = DeadlineCheckInterval;
+      if (std::chrono::steady_clock::now() >= DeadlineAt) {
+        trap("wall-clock deadline exceeded", TrapKind::Deadline);
+        return false;
+      }
     }
     if (Locals.size() > Run->MaxLocalsSlots)
       Run->MaxLocalsSlots = Locals.size();

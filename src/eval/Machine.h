@@ -31,6 +31,7 @@
 #include "ir/Program.h"
 #include "runtime/Heap.h"
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -56,6 +57,10 @@ public:
   /// with StackOverflow (0 = unlimited). Tail calls reuse their frame
   /// and never count against the limit.
   void setCallDepthLimit(uint64_t Limit) override { CallDepthLimit = Limit; }
+
+  /// Wall-clock budget per run (0 = none); armed at run() entry and
+  /// checked every DeadlineCheckInterval dispatches.
+  void setDeadline(uint64_t Ms) override { DeadlineMs = Ms; }
 
   /// Enumerates every GC root (locals, operands, pending result).
   void enumerateRoots(const std::function<void(Value)> &Fn) const override;
@@ -108,6 +113,9 @@ private:
   uint64_t StepLimit = 0;
   uint64_t CallDepthLimit = 0;
   uint64_t CallDepth = 0; // live non-tail (Ret) frames
+  uint64_t DeadlineMs = 0;
+  std::chrono::steady_clock::time_point DeadlineAt{};
+  uint64_t DeadlineCountdown = 0; // dispatches until the next clock read
   bool Trapped = false;
   std::function<void(Value)> ResultInspector;
 };

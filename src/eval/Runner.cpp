@@ -101,6 +101,7 @@ void Runner::setLimits(const RunLimits &L) {
   TheHeap->setLimits(L.Heap);
   TheEngine->setStepLimit(L.Fuel);
   TheEngine->setCallDepthLimit(L.MaxCallDepth);
+  TheEngine->setDeadline(L.DeadlineMs);
 }
 
 void Runner::setFaultInjector(FaultInjector *FI) {

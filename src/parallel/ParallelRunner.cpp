@@ -126,6 +126,7 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
         std::unique_ptr<Engine> M = makeEngine(H);
         M->setStepLimit(EC.Limits.Fuel);
         M->setCallDepthLimit(EC.Limits.MaxCallDepth);
+        M->setDeadline(EC.Limits.DeadlineMs);
         if (H.mode() == HeapMode::Gc) {
           Engine *E = M.get();
           attachCollector(H, [E](const std::function<void(Value)> &Fn) {

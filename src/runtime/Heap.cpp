@@ -45,8 +45,9 @@ Cell *Heap::allocRaw(uint32_t Arity) {
   // once a slab exists.
   if (!SlabCur || size_t(SlabEnd - SlabCur) < Bytes) {
     size_t Size = Bytes > SlabBytes ? Bytes : SlabBytes;
-    Slabs.push_back(std::make_unique<char[]>(Size));
-    SlabCur = Slabs.back().get();
+    Slabs.push_back({std::make_unique<char[]>(Size), Size});
+    SlabBytesHeld += Size;
+    SlabCur = Slabs.back().Mem.get();
     SlabEnd = SlabCur + Size;
   }
   Cell *C = reinterpret_cast<Cell *>(SlabCur);
@@ -358,6 +359,40 @@ size_t Heap::reclaimLeaked() {
   AllCells.clear();
   Stats.UnwindFrees += N;
   return N;
+}
+
+size_t Heap::trimRetained() {
+  // Live cells pin their slabs (cells are carved out of slab interiors;
+  // there is no per-slab occupancy map), so only an empty heap can give
+  // memory back. Between service requests that is exactly the state the
+  // garbage-free guarantee leaves the heap in.
+  if (Stats.LiveCells != 0)
+    return 0;
+  size_t Before = SlabBytesHeld;
+  // Every free-list entry and registry entry points into a slab that is
+  // about to be released; drop them wholesale.
+  FreeLists.clear();
+  FreeLists.shrink_to_fit();
+  AllCells.clear();
+  AllCells.shrink_to_fit();
+  DropStack.shrink_to_fit();
+  // Keep one standard-size slab warm so the next run's first allocation
+  // doesn't pay a fresh OS allocation; the bump pointer restarts at its
+  // base (every cell in it is free — the heap is empty).
+  std::unique_ptr<char[]> Warm;
+  for (Slab &S : Slabs)
+    if (!Warm && S.Size == SlabBytes)
+      Warm = std::move(S.Mem);
+  Slabs.clear();
+  SlabCur = SlabEnd = nullptr;
+  SlabBytesHeld = 0;
+  if (Warm) {
+    Slabs.push_back({std::move(Warm), SlabBytes});
+    SlabBytesHeld = SlabBytes;
+    SlabCur = Slabs.back().Mem.get();
+    SlabEnd = SlabCur + SlabBytes;
+  }
+  return Before - SlabBytesHeld;
 }
 
 size_t Heap::absorbSharedFrees(SharedCellPool &Pool) {

@@ -221,6 +221,24 @@ public:
   /// True when no cells are live — the garbage-free-at-exit check.
   bool empty() const { return Stats.LiveCells == 0; }
 
+  //===--- Retained-memory control (long-lived processes) -------------------//
+
+  /// Bytes of slab memory this heap holds from the OS — live cells,
+  /// free-listed cells and unbumped slab tails alike. This is what a
+  /// long-lived process retains between runs even when the heap is
+  /// empty: slabs and per-arity free lists are never returned by the
+  /// ordinary release path.
+  size_t retainedBytes() const { return SlabBytesHeld; }
+
+  /// Releases retained memory back to the OS. Only an empty heap can
+  /// trim (live cells pin their slabs; returns 0 otherwise): the free
+  /// lists are dropped, every slab but one warm standard-size slab is
+  /// released, and the bump pointer restarts in the kept slab. After a
+  /// trim, retainedBytes() is bounded by one slab regardless of the
+  /// previous peak — the long-lived-service contract (a peaky request
+  /// must not pin peak RSS forever). Returns the bytes released.
+  size_t trimRetained();
+
   //===--- Trap unwinding ---------------------------------------------------//
 
   /// Frees every live cell reachable from \p Roots (HeapRef and Token
@@ -272,10 +290,16 @@ private:
   /// the rare shared-free path; erased on release.
   std::unordered_set<const Cell *> LocallyShared;
 
-  // Bump-allocated slabs.
-  std::vector<std::unique_ptr<char[]>> Slabs;
+  // Bump-allocated slabs (size recorded so trimRetained can account
+  // for oversized single-cell slabs too).
+  struct Slab {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
+  std::vector<Slab> Slabs;
   char *SlabCur = nullptr;
   char *SlabEnd = nullptr;
+  size_t SlabBytesHeld = 0;
 
   // Per-arity free lists (the first word of a free cell is the next
   // pointer).

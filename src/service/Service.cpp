@@ -1,0 +1,387 @@
+//===- service/Service.cpp - Long-lived request service -------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "bytecode/Compiler.h"
+#include "bytecode/VM.h"
+#include "eval/Machine.h"
+#include "gc/MarkSweep.h"
+#include "lang/Resolver.h"
+#include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
+#include "support/Telemetry.h"
+
+#include <chrono>
+
+using namespace perceus;
+
+const char *perceus::rejectKindName(RejectKind K) {
+  switch (K) {
+  case RejectKind::None:
+    return "ok";
+  case RejectKind::QueueFull:
+    return "queue-full";
+  case RejectKind::Shedding:
+    return "shedding";
+  case RejectKind::CompileError:
+    return "compile-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// The artifact cache key: every PassConfig axis and the engine, then the
+/// source verbatim. Field-by-field (not PassConfig::name()) because
+/// name() collapses hand-built configurations onto the nearest stock one.
+std::string cacheKey(const ServiceRequest &R) {
+  std::string Key;
+  Key.reserve(R.Source.size() + 16);
+  Key += engineKindName(R.Engine);
+  Key += '|';
+  Key += static_cast<char>('0' + static_cast<int>(R.Config.Mode));
+  Key += static_cast<char>('0' + R.Config.EnableReuse);
+  Key += static_cast<char>('0' + R.Config.EnableReuseSpec);
+  Key += static_cast<char>('0' + R.Config.EnableDropSpec);
+  Key += static_cast<char>('0' + R.Config.EnableFusion);
+  Key += static_cast<char>('0' + R.Config.EnableBorrow);
+  Key += '\n';
+  Key += R.Source;
+  return Key;
+}
+
+/// Compiles one key into an immutable artifact. Runs on whichever worker
+/// first needs the key; everyone else blocks on the shared_future.
+std::shared_ptr<const CompiledArtifact>
+compileArtifact(const ServiceRequest &R) {
+  auto Art = std::make_shared<CompiledArtifact>();
+  Art->Config = R.Config;
+  Art->Engine = R.Engine;
+  Art->Prog = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  if (!compileSource(R.Source, *Art->Prog, Diags)) {
+    Art->Error = "program failed to compile:\n" + Diags.str();
+    return Art;
+  }
+  runPipeline(*Art->Prog, R.Config);
+  Art->Layout.emplace(layoutProgram(*Art->Prog));
+  if (R.Engine == EngineKind::Vm)
+    Art->Code.emplace(compileProgram(*Art->Prog, *Art->Layout));
+  // Resolve every function name now, single-threaded: workers must not
+  // intern into the shared symbol table on the request path.
+  for (FuncId F = 0; F != Art->Prog->numFunctions(); ++F)
+    Art->Functions.emplace(
+        std::string(Art->Prog->symbols().name(Art->Prog->function(F).Name)),
+        F);
+  Art->Ok = true;
+  return Art;
+}
+
+/// Per-request view of the worker heap's cumulative counters. Counters
+/// subtract; LiveBytes/LiveCells are the absolute post-request values
+/// (zero when the run was garbage free) and PeakBytes is the per-request
+/// peak (the caller rewinds the high-water mark before the run).
+HeapStats diffStats(const HeapStats &After, const HeapStats &Before) {
+  HeapStats D;
+  D.Allocs = After.Allocs - Before.Allocs;
+  D.Frees = After.Frees - Before.Frees;
+  D.DupOps = After.DupOps - Before.DupOps;
+  D.DropOps = After.DropOps - Before.DropOps;
+  D.DecRefOps = After.DecRefOps - Before.DecRefOps;
+  D.NonHeapRcOps = After.NonHeapRcOps - Before.NonHeapRcOps;
+  D.AtomicRcOps = After.AtomicRcOps - Before.AtomicRcOps;
+  D.IsUniqueTests = After.IsUniqueTests - Before.IsUniqueTests;
+  D.Collections = After.Collections - Before.Collections;
+  D.FailedAllocs = After.FailedAllocs - Before.FailedAllocs;
+  D.EmergencyCollections =
+      After.EmergencyCollections - Before.EmergencyCollections;
+  D.UnwindFrees = After.UnwindFrees - Before.UnwindFrees;
+  D.LiveBytes = After.LiveBytes;
+  D.PeakBytes = After.PeakBytes;
+  D.LiveCells = After.LiveCells;
+  return D;
+}
+
+} // namespace
+
+Service::Service(const ServiceConfig &C) : Config(C) {
+  if (Config.Workers == 0)
+    Config.Workers = 1;
+  if (Config.QueueCapacity == 0)
+    Config.QueueCapacity = 1;
+  Workers.reserve(Config.Workers);
+  for (unsigned W = 0; W != Config.Workers; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+Service::~Service() { stop(); }
+
+void Service::stop() {
+  std::deque<Pending> Shed;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping && Queue.empty() && Workers.empty())
+      return;
+    Stopping = true;
+    Shed.swap(Queue);
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+  for (Pending &P : Shed) {
+    ServiceResponse Resp;
+    Resp.Id = P.Id;
+    Resp.Reject = RejectKind::Shedding;
+    Resp.Error = "service stopping";
+    Resp.QueueSeconds = secondsSince(P.Enqueued);
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.RejectedShedding;
+    }
+    P.Promise.set_value(std::move(Resp));
+  }
+}
+
+std::future<ServiceResponse> Service::submit(ServiceRequest R) {
+  Pending P;
+  P.Req = std::move(R);
+  P.Enqueued = std::chrono::steady_clock::now();
+  std::future<ServiceResponse> Fut = P.Promise.get_future();
+
+  RejectKind Reject = RejectKind::None;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    P.Id = NextId++;
+    if (Stopping)
+      Reject = RejectKind::Shedding;
+    else if (Queue.size() >= Config.QueueCapacity)
+      Reject = RejectKind::QueueFull;
+    else
+      Queue.push_back(std::move(P));
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Submitted;
+    if (Reject == RejectKind::QueueFull)
+      ++Stats.RejectedQueueFull;
+    else if (Reject == RejectKind::Shedding)
+      ++Stats.RejectedShedding;
+  }
+  if (Reject != RejectKind::None) {
+    ServiceResponse Resp;
+    Resp.Id = P.Id;
+    Resp.Reject = Reject;
+    Resp.Error = Reject == RejectKind::QueueFull
+                     ? "request queue at capacity"
+                     : "service stopping";
+    P.Promise.set_value(std::move(Resp));
+    return Fut;
+  }
+  QueueCv.notify_one();
+  return Fut;
+}
+
+ServiceResponse Service::call(ServiceRequest R) {
+  return submit(std::move(R)).get();
+}
+
+bool Service::precompile(const std::string &Source, const PassConfig &Config,
+                         EngineKind Engine, std::string *Error) {
+  ServiceRequest R;
+  R.Source = Source;
+  R.Config = Config;
+  R.Engine = Engine;
+  bool Hit = false;
+  std::shared_ptr<const CompiledArtifact> Art = artifactFor(R, Hit);
+  if (!Art->Ok && Error)
+    *Error = Art->Error;
+  return Art->Ok;
+}
+
+std::shared_ptr<const CompiledArtifact>
+Service::artifactFor(const ServiceRequest &R, bool &CacheHit) {
+  std::string Key = cacheKey(R);
+  std::shared_future<std::shared_ptr<const CompiledArtifact>> Fut;
+  std::promise<std::shared_ptr<const CompiledArtifact>> Mine;
+  bool Compile = false;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      CacheHit = true;
+      Fut = It->second;
+    } else {
+      CacheHit = false;
+      Compile = true;
+      Fut = Mine.get_future().share();
+      Cache.emplace(std::move(Key), Fut);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    if (CacheHit)
+      ++Stats.CacheHits;
+    else
+      ++Stats.CacheCompiles;
+  }
+  if (Compile)
+    Mine.set_value(compileArtifact(R));
+  return Fut.get();
+}
+
+void Service::workerLoop(unsigned Index) {
+  WorkerState WS;
+  for (;;) {
+    Pending P;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping; stop() sheds anything left
+      P = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    ServiceResponse Resp = execute(WS, P, Index);
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      if (Resp.Executed) {
+        ++Stats.Executed;
+        if (!Resp.Run.Ok)
+          ++Stats.Traps;
+      } else if (Resp.Reject == RejectKind::Shedding) {
+        ++Stats.RejectedShedding;
+      } else if (Resp.Reject == RejectKind::CompileError) {
+        ++Stats.RejectedCompileError;
+      }
+      Stats.QueueSecondsTotal += Resp.QueueSeconds;
+      Stats.RunSecondsTotal += Resp.RunSeconds;
+    }
+    P.Promise.set_value(std::move(Resp));
+  }
+}
+
+ServiceResponse Service::execute(WorkerState &WS, Pending &P, unsigned Index) {
+  const ServiceRequest &Req = P.Req;
+  ServiceResponse Resp;
+  Resp.Id = P.Id;
+  Resp.Worker = Index;
+  Resp.QueueSeconds = secondsSince(P.Enqueued);
+
+  // Deadline already burned in the queue: shed without touching an
+  // engine — the client stopped waiting, running would waste the worker.
+  uint64_t QueueMs = static_cast<uint64_t>(Resp.QueueSeconds * 1e3);
+  if (Req.Limits.DeadlineMs && QueueMs >= Req.Limits.DeadlineMs) {
+    Resp.Reject = RejectKind::Shedding;
+    Resp.Error = "deadline expired while queued";
+    return Resp;
+  }
+
+  auto R0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const CompiledArtifact> Art =
+      artifactFor(Req, Resp.CacheHit);
+  if (!Art->Ok) {
+    Resp.Reject = RejectKind::CompileError;
+    Resp.Error = Art->Error;
+    Resp.RunSeconds = secondsSince(R0);
+    return Resp;
+  }
+
+  // Pooled heap for the key's mode; created on first use and kept warm.
+  bool Gc = Art->Config.Mode == RcMode::None;
+  std::unique_ptr<Heap> &Slot = Gc ? WS.GcHeap : WS.RcHeap;
+  if (!Slot)
+    Slot = std::make_unique<Heap>(Gc ? HeapMode::Gc : HeapMode::Rc,
+                                  Config.GcThresholdBytes);
+  Heap &H = *Slot;
+
+  // Rebuild the engine only when the artifact or heap binding changed;
+  // back-to-back requests on one session reuse the warm engine.
+  if (WS.Art != Art || WS.EngHeap != &H || !WS.Eng) {
+    if (Art->Engine == EngineKind::Vm)
+      WS.Eng = std::make_unique<VM>(*Art->Code, H);
+    else
+      WS.Eng = std::make_unique<Machine>(*Art->Prog, *Art->Layout, H);
+    WS.Art = Art;
+    WS.EngHeap = &H;
+    if (H.mode() == HeapMode::Gc) {
+      Engine *E = WS.Eng.get();
+      attachCollector(H, [E](const std::function<void(Value)> &Fn) {
+        E->enumerateRoots(Fn);
+      });
+    }
+  }
+
+  auto It = Art->Functions.find(Req.Entry);
+  if (It == Art->Functions.end()) {
+    Resp.Executed = true;
+    Resp.Run.Ok = false;
+    Resp.Run.Trap = TrapKind::RuntimeError;
+    Resp.Run.Error = "no such entry function: " + Req.Entry;
+    Resp.Error = Resp.Run.Error;
+    Resp.HeapEmpty = H.empty();
+    Resp.RetainedBytes = H.retainedBytes();
+    Resp.RunSeconds = secondsSince(R0);
+    return Resp;
+  }
+
+  // Per-request installs: limits (deadline reduced by the queue wait),
+  // fault injection, telemetry. All are uninstalled afterwards so the
+  // pooled heap carries nothing from one request into the next.
+  RunLimits L = Req.Limits;
+  if (L.DeadlineMs)
+    L.DeadlineMs -= QueueMs;
+  H.setLimits(L.Heap);
+  WS.Eng->setStepLimit(L.Fuel);
+  WS.Eng->setCallDepthLimit(L.MaxCallDepth);
+  WS.Eng->setDeadline(L.DeadlineMs);
+  FaultInjector FI = FaultInjector::failNth(Req.FailAlloc);
+  if (Req.FailAlloc)
+    H.setFaultInjector(&FI);
+  CountingSink Sink;
+  H.setStatsSink(&Sink);
+
+  HeapStats Before = H.stats();
+  H.stats().PeakBytes = H.stats().LiveBytes; // per-request peak
+  Resp.Run = WS.Eng->run(It->second, Req.Args);
+  Resp.Executed = true;
+
+  // In GC mode a clean run leaves unreachable cells behind (drops are
+  // no-ops); sweep them so the pooled heap is empty and reusable, the
+  // same invariant RC mode gets for free.
+  if (H.mode() == HeapMode::Gc) {
+    H.reclaimAll();
+    H.resetGcThreshold();
+  }
+  Resp.Heap = diffStats(H.stats(), Before);
+  Resp.RcCalls = Sink.totalRcCalls();
+  Resp.HeapEmpty = H.empty();
+  H.setStatsSink(nullptr);
+  H.setFaultInjector(nullptr);
+  H.setLimits(HeapLimits{});
+
+  // Retained-memory policy: a peaky request must not pin its slab
+  // high-water for the life of the worker.
+  if (H.empty() && H.retainedBytes() > Config.MaxRetainedBytes) {
+    size_t Trimmed = H.trimRetained();
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stats.TrimmedBytes += Trimmed;
+  }
+  Resp.RetainedBytes = H.retainedBytes();
+  Resp.RunSeconds = secondsSince(R0);
+  return Resp;
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
+}

@@ -1,0 +1,271 @@
+//===- service/Service.h - Long-lived request service -----------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived session engine: a compile-once request service over the
+/// existing engines. Where `Runner` couples one compilation to one heap
+/// and one engine, `Service` separates the three lifetimes a server
+/// actually has:
+///
+///   * a *program* is compiled once per (source, PassConfig, EngineKind)
+///     key into an immutable CompiledArtifact (IR + layout for the CEK
+///     machine, plus bytecode for the VM) and cached forever;
+///   * a *worker* owns a persistent Heap (one per HeapMode, created
+///     lazily) and an engine instance rebuilt only when the artifact or
+///     heap mode changes — requests reuse warm slabs and free lists;
+///   * a *request* carries its own RunLimits (including the wall-clock
+///     DeadlineMs), optional fault injection, and per-request telemetry,
+///     and leaves the worker heap empty again whether it completed or
+///     trapped — the garbage-free guarantee is what makes pooling safe.
+///
+/// Admission control is a bounded queue: submit() rejects with QueueFull
+/// when the queue is at capacity, and a queued request whose deadline
+/// already expired while waiting is shed (RejectKind::Shedding) without
+/// ever touching an engine. Rejections are structured responses, never
+/// aborts. Between requests the worker trims retained slab memory back
+/// to one warm slab whenever it exceeds ServiceConfig::MaxRetainedBytes,
+/// so one peaky request cannot pin peak RSS for the life of the process.
+///
+/// Thread-safety note: workers share each artifact's Program read-only.
+/// SymbolTable::intern() mutates, so entry-point lookup never interns on
+/// the request path — the artifact carries a name → FuncId index built
+/// once at compile time, single-threaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SERVICE_SERVICE_H
+#define PERCEUS_SERVICE_SERVICE_H
+
+#include "bytecode/Bytecode.h"
+#include "eval/Engine.h"
+#include "eval/EngineConfig.h"
+#include "eval/Layout.h"
+#include "perceus/Pipeline.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace perceus {
+
+/// One immutable compiled program, shared read-only by every worker that
+/// executes requests against its key. When compilation fails, Ok is
+/// false and Error carries the diagnostics — the failure is cached too,
+/// so a bad source is diagnosed once, not once per request.
+struct CompiledArtifact {
+  bool Ok = false;
+  std::string Error;
+  PassConfig Config;
+  EngineKind Engine = EngineKind::Cek;
+  std::unique_ptr<Program> Prog;
+  std::optional<ProgramLayout> Layout;
+  std::optional<CompiledProgram> Code; ///< VM engine only
+  /// Every top-level function by surface name, resolved at compile time
+  /// so the request path never touches the (mutating) symbol table.
+  std::unordered_map<std::string, FuncId> Functions;
+};
+
+/// One unit of work: which program (by source + configuration), which
+/// entry point, and how the run is bounded. Args are immediates (ints,
+/// unit) — heap values cannot cross the submission boundary.
+struct ServiceRequest {
+  std::string Source;
+  PassConfig Config = PassConfig::perceusFull();
+  EngineKind Engine = EngineKind::Cek;
+  std::string Entry = "main";
+  std::vector<Value> Args;
+  RunLimits Limits;       ///< fuel, depth, governor, DeadlineMs
+  uint64_t FailAlloc = 0; ///< failNth fault injection (0 = off)
+};
+
+/// Why a request was refused without executing. Rejections are structured
+/// outcomes — the service never aborts on overload.
+enum class RejectKind : uint8_t {
+  None,         ///< not rejected (see Executed / Run)
+  QueueFull,    ///< bounded queue at capacity at submit time
+  Shedding,     ///< shed: stopping, or deadline expired while queued
+  CompileError, ///< the (cached) compilation of the key failed
+};
+
+/// Short stable name ("ok", "queue-full", ...) for logs and JSON.
+const char *rejectKindName(RejectKind K);
+
+/// Everything the service reports about one request.
+struct ServiceResponse {
+  uint64_t Id = 0;        ///< submission order, 1-based
+  bool Executed = false;  ///< an engine ran (Run is meaningful)
+  RejectKind Reject = RejectKind::None;
+  std::string Error;      ///< rejection / lookup diagnostics
+  RunResult Run;          ///< engine result when Executed
+  HeapStats Heap;         ///< this request's stats delta on its worker heap
+  bool CacheHit = false;  ///< artifact served from cache
+  bool HeapEmpty = true;  ///< worker heap empty after the request
+  unsigned Worker = 0;    ///< worker index that executed it
+  double QueueSeconds = 0;///< time spent queued before a worker took it
+  double RunSeconds = 0;  ///< compile-wait + engine time on the worker
+  size_t RetainedBytes = 0; ///< worker slab bytes held after the request
+  uint64_t RcCalls = 0;   ///< telemetry: RC calls the sink observed
+};
+
+/// Service-wide tuning.
+struct ServiceConfig {
+  unsigned Workers = 1;        ///< worker threads (min 1)
+  size_t QueueCapacity = 64;   ///< bounded queue; 0 means 1
+  /// Trim a worker heap back to one warm slab whenever it retains more
+  /// than this between requests (0 = trim after every request).
+  size_t MaxRetainedBytes = 8u << 20;
+  size_t GcThresholdBytes = 4u << 20; ///< per-worker GC threshold
+};
+
+/// Aggregate counters across the service lifetime.
+struct ServiceStats {
+  uint64_t Submitted = 0;
+  uint64_t Executed = 0;
+  uint64_t RejectedQueueFull = 0;
+  uint64_t RejectedShedding = 0;
+  uint64_t RejectedCompileError = 0;
+  uint64_t Traps = 0;       ///< executed requests that trapped
+  uint64_t CacheHits = 0;   ///< artifact lookups served from cache
+  uint64_t CacheCompiles = 0; ///< distinct keys actually compiled
+  uint64_t TrimmedBytes = 0;  ///< slab bytes returned to the OS
+  double QueueSecondsTotal = 0;
+  double RunSecondsTotal = 0;
+};
+
+/// See the file comment.
+class Service {
+public:
+  explicit Service(const ServiceConfig &Config = {});
+  ~Service(); ///< stops and joins; queued requests are shed
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Enqueues a request. The future resolves when a worker finishes it
+  /// (or immediately, with a structured rejection, when the queue is
+  /// full or the service is stopping).
+  std::future<ServiceResponse> submit(ServiceRequest R);
+
+  /// submit() + get(): the blocking convenience for tests and the CLI.
+  ServiceResponse call(ServiceRequest R);
+
+  /// Compiles (or fetches) the artifact for a key without running
+  /// anything — warms the cache off the request path. Returns false and
+  /// fills \p Error when the source does not compile.
+  bool precompile(const std::string &Source, const PassConfig &Config,
+                  EngineKind Engine, std::string *Error = nullptr);
+
+  /// Stops accepting work, sheds the queue, and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  ServiceStats stats() const;
+  const ServiceConfig &config() const { return Config; }
+
+private:
+  struct Pending {
+    ServiceRequest Req;
+    std::promise<ServiceResponse> Promise;
+    uint64_t Id = 0;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  /// Per-worker persistent state: pooled heaps plus the currently
+  /// instantiated (artifact, engine) pair.
+  struct WorkerState {
+    std::unique_ptr<Heap> RcHeap;
+    std::unique_ptr<Heap> GcHeap;
+    std::shared_ptr<const CompiledArtifact> Art; ///< engine's program
+    std::unique_ptr<Engine> Eng;
+    Heap *EngHeap = nullptr; ///< heap Eng is bound to
+  };
+
+  void workerLoop(unsigned Index);
+  ServiceResponse execute(WorkerState &WS, Pending &P, unsigned Index);
+  std::shared_ptr<const CompiledArtifact>
+  artifactFor(const ServiceRequest &R, bool &CacheHit);
+
+  ServiceConfig Config;
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<Pending> Queue;
+  bool Stopping = false;
+  uint64_t NextId = 1;
+
+  std::mutex CacheMutex;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const CompiledArtifact>>>
+      Cache;
+
+  mutable std::mutex StatsMutex;
+  ServiceStats Stats;
+
+  std::vector<std::thread> Workers;
+};
+
+/// A client handle that pins one (source, PassConfig, EngineKind) key on
+/// a Service, so callers submit by entry point alone — the "session" of
+/// the session engine. Cheap; many sessions can share one Service, and
+/// sessions over the same key share the cached artifact.
+class Session {
+public:
+  Session(Service &S, std::string Source,
+          PassConfig Config = PassConfig::perceusFull(),
+          EngineKind Engine = EngineKind::Cek)
+      : Svc(S), Source(std::move(Source)), Config(Config), Engine(Engine) {}
+
+  /// Compiles the session's program now (off the request path). Returns
+  /// false and fills \p Error when the source does not compile.
+  bool warm(std::string *Error = nullptr) {
+    return Svc.precompile(Source, Config, Engine, Error);
+  }
+
+  std::future<ServiceResponse> submit(std::string Entry,
+                                      std::vector<Value> Args = {},
+                                      const RunLimits &Limits = {},
+                                      uint64_t FailAlloc = 0) {
+    return Svc.submit(makeRequest(std::move(Entry), std::move(Args), Limits,
+                                  FailAlloc));
+  }
+
+  ServiceResponse call(std::string Entry, std::vector<Value> Args = {},
+                       const RunLimits &Limits = {}, uint64_t FailAlloc = 0) {
+    return Svc.call(makeRequest(std::move(Entry), std::move(Args), Limits,
+                                FailAlloc));
+  }
+
+  Service &service() { return Svc; }
+
+private:
+  ServiceRequest makeRequest(std::string Entry, std::vector<Value> Args,
+                             const RunLimits &Limits, uint64_t FailAlloc) {
+    ServiceRequest R;
+    R.Source = Source;
+    R.Config = Config;
+    R.Engine = Engine;
+    R.Entry = std::move(Entry);
+    R.Args = std::move(Args);
+    R.Limits = Limits;
+    R.FailAlloc = FailAlloc;
+    return R;
+  }
+
+  Service &Svc;
+  std::string Source;
+  PassConfig Config;
+  EngineKind Engine;
+};
+
+} // namespace perceus
+
+#endif // PERCEUS_SERVICE_SERVICE_H

@@ -1,0 +1,44 @@
+//===- service/ServiceJson.cpp - JSON emission for service results --------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceJson.h"
+
+#include "eval/StatsJson.h"
+#include "service/Service.h"
+#include "support/JsonWriter.h"
+
+namespace perceus {
+
+void writeServiceObjectJson(JsonWriter &W, const ServiceResponse &R) {
+  W.beginObject()
+      .member("id", R.Id)
+      .member("status", rejectKindName(R.Reject))
+      .member("executed", R.Executed)
+      .member("cache_hit", R.CacheHit)
+      .member("worker", uint64_t(R.Worker))
+      .member("queue_ms", R.QueueSeconds * 1e3)
+      .member("run_ms", R.RunSeconds * 1e3)
+      .member("retained_bytes", R.RetainedBytes)
+      .member("heap_empty", R.HeapEmpty)
+      .member("rc_calls", R.RcCalls)
+      .member("error", std::string_view(R.Error))
+      .endObject();
+}
+
+std::string serviceResponseJson(const ServiceResponse &R) {
+  JsonWriter W;
+  W.beginObject().member("schema", "perceus-stats-v1");
+  W.key("service");
+  writeServiceObjectJson(W, R);
+  W.key("heap");
+  writeHeapStatsJson(W, R.Heap);
+  W.key("run");
+  writeRunResultJson(W, R.Run);
+  W.endObject();
+  return W.take();
+}
+
+} // namespace perceus

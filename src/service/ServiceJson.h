@@ -1,0 +1,39 @@
+//===- service/ServiceJson.h - JSON emission for service results -*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes ServiceResponse into the perceus-stats-v1 schema: the same
+/// heap/run objects `perc --stats-json` writes, plus a "service" object
+/// carrying the request's admission and latency telemetry (status,
+/// cache hit, worker, queue/run milliseconds, retained bytes). One
+/// document per request — `perc --serve` prints one per line, and the
+/// validation tests pin the key set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SERVICE_SERVICEJSON_H
+#define PERCEUS_SERVICE_SERVICEJSON_H
+
+#include <string>
+
+namespace perceus {
+
+class JsonWriter;
+struct ServiceResponse;
+
+/// {"id":..,"status":"ok"|"queue-full"|...,"executed":..,"cache_hit":..,
+///  "worker":..,"queue_ms":..,"run_ms":..,"retained_bytes":..,
+///  "heap_empty":..,"rc_calls":..,"error":".."}
+void writeServiceObjectJson(JsonWriter &W, const ServiceResponse &R);
+
+/// One complete perceus-stats-v1 document for a response: schema marker,
+/// the service object, and the heap/run objects (zeroed for requests
+/// that were rejected before execution, so every line has one shape).
+std::string serviceResponseJson(const ServiceResponse &R);
+
+} // namespace perceus
+
+#endif // PERCEUS_SERVICE_SERVICEJSON_H

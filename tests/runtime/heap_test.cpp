@@ -736,4 +736,185 @@ TEST(HeapGc, CollectHookFiresAtThreshold) {
   EXPECT_GT(Fired, 0);
 }
 
+//===--- RC saturation boundary matrix ------------------------------------===//
+//
+// The count encoding has three regimes — thread-local positive counts,
+// thread-shared negative counts, and the sticky band pinned at the
+// bottom — and the saturation audit walks every entry point (dup, drop,
+// decref) across each regime's boundary values: INT32_MAX and its
+// neighbors on the positive side, StickyRc = INT32_MIN, sticky ± 1, and
+// both sides of the band top INT32_MIN + 2^20.
+
+TEST(HeapSaturation, DropAtInt32MaxDecrementsNormally) {
+  // INT32_MAX is a legal thread-local count, not a trap state: only a
+  // *dup* there saturates (it has nowhere to go). Drop moves away from
+  // the boundary and must behave like any other decrement.
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MAX, std::memory_order_relaxed);
+  H.drop(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MAX - 1);
+  EXPECT_EQ(H.stats().Frees, 0u);
+  V.Ref->H.Rc.store(1, std::memory_order_relaxed); // cleanup via free
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapSaturation, DecRefAtInt32MaxDecrementsNormally) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MAX, std::memory_order_relaxed);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MAX - 1);
+  EXPECT_EQ(H.stats().Frees, 0u);
+  V.Ref->H.Rc.store(1, std::memory_order_relaxed);
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapSaturation, DupBelowInt32MaxReachesExactlyInt32Max) {
+  // The saturation check is `== INT32_MAX` *before* incrementing: a dup
+  // at INT32_MAX - 1 lands on INT32_MAX exactly (still a live ordinary
+  // count); only the *next* dup pins. An off-by-one here would either
+  // pin a count early or overflow into the shared encoding.
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MAX - 1, std::memory_order_relaxed);
+  H.dup(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MAX) << "not pinned yet";
+  H.dup(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN) << "now pinned";
+  H.freeMemoryOnly(V.Ref); // pinned cells never free; test cleanup
+}
+
+TEST(HeapSaturation, StickyPlusOneIsInsideTheBand) {
+  // INT32_MIN + 1 is deep inside the sticky band: every RC entry point
+  // must leave it untouched with no atomic RMW, exactly like StickyRc
+  // itself — the band exists so counts *near* the pin are as inert as
+  // the pin.
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(INT32_MIN + 1, std::memory_order_relaxed);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.dup(V);
+  H.drop(V);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN + 1);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0);
+  EXPECT_EQ(H.stats().LiveCells, 1u) << "pinned alive";
+  H.freeMemoryOnly(V.Ref);
+}
+
+TEST(HeapSaturation, BandTopBoundaryIsExact) {
+  // At exactly StickyBandTop every op is inert; one above it the count
+  // is an ordinary shared count again. Both sides of the edge, same ops.
+  constexpr int32_t BandTop = INT32_MIN + (1 << 20);
+  Heap H;
+  Value V = mkCell(H, 0);
+
+  V.Ref->H.Rc.store(BandTop, std::memory_order_relaxed);
+  uint64_t Atomic0 = H.stats().AtomicRcOps;
+  H.drop(V);
+  H.decref(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), BandTop);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0);
+
+  // One above the band: drop decrements the (negative-encoded) count
+  // atomically, moving it *away* from the band — toward zero.
+  V.Ref->H.Rc.store(BandTop + 1, std::memory_order_relaxed);
+  H.drop(V);
+  EXPECT_EQ(V.Ref->H.Rc.load(), BandTop + 2);
+  EXPECT_EQ(H.stats().AtomicRcOps, Atomic0 + 1);
+  H.freeMemoryOnly(V.Ref); // still in shared encoding; test cleanup
+}
+
+TEST(HeapSaturation, SharedDecrementCannotEnterTheBandByOne) {
+  // The guard property the 2^20 band buys: a decrement (fetch_add on
+  // the negative encoding) from just above the band lands *further*
+  // from INT32_MIN, never on it — so racing decrements that all passed
+  // the band check cannot wrap the count past the pin.
+  constexpr int32_t BandTop = INT32_MIN + (1 << 20);
+  Heap H;
+  Value V = mkCell(H, 0);
+  V.Ref->H.Rc.store(BandTop + 1, std::memory_order_relaxed);
+  H.decref(V);
+  EXPECT_GT(V.Ref->H.Rc.load(), BandTop);
+  H.freeMemoryOnly(V.Ref);
+}
+
+//===--- Retained-memory trim ---------------------------------------------===//
+
+TEST(HeapTrim, TrimOnNonEmptyHeapIsRefused) {
+  // Live cells pin their slabs (cells are slab-interior pointers; there
+  // is no per-slab occupancy map), so trim must be a no-op until the
+  // heap is empty.
+  Heap H;
+  Value V = mkCell(H, 2);
+  size_t Held = H.retainedBytes();
+  EXPECT_GT(Held, 0u);
+  EXPECT_EQ(H.trimRetained(), 0u);
+  EXPECT_EQ(H.retainedBytes(), Held);
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapTrim, TrimBoundsRetainedBytesAfterAPeak) {
+  // Grow several MB of slabs, free everything, trim: retained bytes
+  // must come back to at most one warm standard slab (256 KiB), and the
+  // released amount is exactly the difference.
+  constexpr size_t OneSlab = 256 * 1024;
+  Heap H;
+  std::vector<Value> Cells;
+  for (int I = 0; I != 40000; ++I) // ~40k cells × ≥32B ≫ one slab
+    Cells.push_back(mkCell(H, 2));
+  size_t Peak = H.retainedBytes();
+  EXPECT_GT(Peak, 4u * OneSlab);
+  for (Value V : Cells)
+    H.drop(V);
+  ASSERT_TRUE(H.empty());
+  // Freeing populates free lists but returns nothing to the OS.
+  EXPECT_EQ(H.retainedBytes(), Peak);
+  size_t Released = H.trimRetained();
+  EXPECT_EQ(Released, Peak - H.retainedBytes());
+  EXPECT_LE(H.retainedBytes(), OneSlab);
+}
+
+TEST(HeapTrim, HeapIsFullyUsableAfterTrim) {
+  // The trim drops the free lists and restarts the bump pointer in the
+  // kept slab; allocation, reuse, and the empty-heap invariant must all
+  // survive it.
+  Heap H;
+  std::vector<Value> Cells;
+  for (int I = 0; I != 20000; ++I)
+    Cells.push_back(mkCell(H, 1));
+  for (Value V : Cells)
+    H.drop(V);
+  ASSERT_TRUE(H.empty());
+  H.trimRetained();
+
+  Value A = mkCell(H, 3, 5);
+  EXPECT_EQ(A.Ref->H.Tag, 5u);
+  EXPECT_EQ(A.Ref->H.Rc.load(), 1);
+  H.dup(A);
+  H.drop(A);
+  H.drop(A);
+  EXPECT_TRUE(H.empty());
+  // And a second trim on the already-trimmed heap releases nothing new.
+  EXPECT_EQ(H.trimRetained(), 0u);
+}
+
+TEST(HeapTrim, OversizedSlabIsReleasedByTrim) {
+  // A cell bigger than the standard slab gets its own oversized slab;
+  // the trim must release it too (only *standard*-size slabs are kept
+  // warm) or one huge request would pin its footprint forever.
+  constexpr size_t OneSlab = 256 * 1024;
+  Heap H;
+  Value Big = mkCell(H, 40000); // 40k fields ≫ 256 KiB slab
+  EXPECT_GT(H.retainedBytes(), OneSlab);
+  H.drop(Big);
+  ASSERT_TRUE(H.empty());
+  H.trimRetained();
+  EXPECT_LE(H.retainedBytes(), OneSlab);
+}
+
 } // namespace

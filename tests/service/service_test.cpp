@@ -1,0 +1,279 @@
+//===- tests/service/service_test.cpp - Session engine unit tests ---------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the long-lived request service (src/service): the
+/// compile-once artifact cache, admission control (queue-full and
+/// shedding as structured outcomes), per-request deadlines on both
+/// engines, the retained-memory trim policy, and heap pooling across
+/// mixed configurations on one worker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+#include "service/ServiceJson.h"
+
+#include "eval/Runner.h"
+#include "programs/Programs.h"
+#include "support/JsonWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace perceus;
+
+namespace {
+
+int64_t referenceResult(const char *Source, const char *Entry, int64_t Arg,
+                        const PassConfig &Config = PassConfig::perceusFull()) {
+  Runner R(Source, Config);
+  EXPECT_TRUE(R.ok());
+  RunResult Res = R.callInt(Entry, {Arg});
+  EXPECT_TRUE(Res.Ok);
+  return Res.Result.Int;
+}
+
+TEST(Service, CompileOncePerKeyAndCorrectResults) {
+  Service S;
+  Session Sess(S, mapSumSource());
+  int64_t Want = referenceResult(mapSumSource(), "bench_mapsum", 100);
+  for (int I = 0; I != 10; ++I) {
+    ServiceResponse R = Sess.call("bench_mapsum", {Value::makeInt(100)});
+    ASSERT_TRUE(R.Executed);
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+    EXPECT_EQ(R.Run.Result.Int, Want);
+    EXPECT_TRUE(R.HeapEmpty);
+    EXPECT_EQ(R.CacheHit, I != 0);
+  }
+  ServiceStats ST = S.stats();
+  EXPECT_EQ(ST.Executed, 10u);
+  EXPECT_EQ(ST.CacheCompiles, 1u);
+  EXPECT_GE(ST.CacheHits, 9u);
+}
+
+TEST(Service, CompileErrorIsCachedAndStructured) {
+  Service S;
+  Session Sess(S, "fun main( { syntax error");
+  for (int I = 0; I != 3; ++I) {
+    ServiceResponse R = Sess.call("main");
+    EXPECT_FALSE(R.Executed);
+    EXPECT_EQ(R.Reject, RejectKind::CompileError);
+    EXPECT_FALSE(R.Error.empty());
+  }
+  // The failure is negatively cached: one compile, never repeated.
+  EXPECT_EQ(S.stats().CacheCompiles, 1u);
+  EXPECT_EQ(S.stats().RejectedCompileError, 3u);
+}
+
+TEST(Service, MissingEntryIsARuntimeErrorNotACrash) {
+  Service S;
+  Session Sess(S, mapSumSource());
+  ServiceResponse R = Sess.call("no_such_function");
+  ASSERT_TRUE(R.Executed);
+  EXPECT_FALSE(R.Run.Ok);
+  EXPECT_EQ(R.Run.Trap, TrapKind::RuntimeError);
+  EXPECT_TRUE(R.HeapEmpty);
+}
+
+TEST(Service, SessionWarmMakesFirstCallACacheHit) {
+  Service S;
+  Session Sess(S, mapSumSource(), PassConfig::perceusFull(),
+               EngineKind::Vm);
+  std::string Err;
+  ASSERT_TRUE(Sess.warm(&Err)) << Err;
+  ServiceResponse R = Sess.call("bench_mapsum", {Value::makeInt(10)});
+  ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+  EXPECT_TRUE(R.CacheHit);
+}
+
+TEST(Service, QueueFullIsAStructuredRejection) {
+  ServiceConfig C;
+  C.Workers = 1;
+  C.QueueCapacity = 1;
+  Service S(C);
+  Session Sess(S, nqueensSource());
+  // One slow request occupies the worker; capacity one means at most one
+  // more waits — the rest must be rejected at submit, resolved
+  // immediately, and never abort the process.
+  std::vector<std::future<ServiceResponse>> Futs;
+  for (int I = 0; I != 8; ++I)
+    Futs.push_back(Sess.submit("bench_nqueens", {Value::makeInt(8)}));
+  unsigned Rejected = 0, Served = 0;
+  for (auto &F : Futs) {
+    ServiceResponse R = F.get();
+    if (R.Reject == RejectKind::QueueFull) {
+      ++Rejected;
+      EXPECT_FALSE(R.Executed);
+    } else {
+      ++Served;
+      EXPECT_TRUE(R.Run.Ok) << R.Run.Error;
+    }
+  }
+  EXPECT_GE(Rejected, 1u);
+  EXPECT_GE(Served, 1u);
+  EXPECT_EQ(S.stats().RejectedQueueFull, Rejected);
+}
+
+TEST(Service, StopShedsQueuedRequests) {
+  ServiceConfig C;
+  C.Workers = 1;
+  C.QueueCapacity = 16;
+  Service S(C);
+  Session Sess(S, nqueensSource());
+  std::vector<std::future<ServiceResponse>> Futs;
+  Futs.push_back(Sess.submit("bench_nqueens", {Value::makeInt(8)}));
+  for (int I = 0; I != 6; ++I)
+    Futs.push_back(Sess.submit("bench_nqueens", {Value::makeInt(4)}));
+  S.stop();
+  unsigned Shed = 0;
+  for (auto &F : Futs) {
+    ServiceResponse R = F.get(); // every future resolves — no abort
+    if (R.Reject == RejectKind::Shedding)
+      ++Shed;
+  }
+  EXPECT_GE(Shed, 1u);
+  // Post-stop submissions are rejected, not lost.
+  ServiceResponse After = Sess.call("bench_nqueens", {Value::makeInt(4)});
+  EXPECT_EQ(After.Reject, RejectKind::Shedding);
+}
+
+TEST(Service, DeadlineTrapsCleanlyOnBothEngines) {
+  Service S;
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm}) {
+    Session Sess(S, nqueensSource(), PassConfig::perceusFull(), Engine);
+    RunLimits L;
+    L.DeadlineMs = 5;
+    ServiceResponse R =
+        Sess.call("bench_nqueens", {Value::makeInt(10)}, L);
+    ASSERT_TRUE(R.Executed);
+    EXPECT_FALSE(R.Run.Ok);
+    EXPECT_EQ(R.Run.Trap, TrapKind::Deadline) << engineKindName(Engine);
+    // Clean unwind: nothing leaked mid-flight on the pooled heap.
+    EXPECT_TRUE(R.HeapEmpty) << engineKindName(Engine);
+    EXPECT_EQ(R.Heap.LiveCells, 0u);
+  }
+}
+
+TEST(Service, DeadlineBurnedInQueueShedsWithoutRunning) {
+  ServiceConfig C;
+  C.Workers = 1;
+  Service S(C);
+  Session Sess(S, nqueensSource());
+  // Occupy the single worker long enough that the follow-up's 1ms
+  // deadline expires while it waits in the queue.
+  auto Slow = Sess.submit("bench_nqueens", {Value::makeInt(9)});
+  RunLimits L;
+  L.DeadlineMs = 1;
+  ServiceResponse R = Sess.call("bench_nqueens", {Value::makeInt(8)}, L);
+  EXPECT_EQ(R.Reject, RejectKind::Shedding);
+  EXPECT_FALSE(R.Executed);
+  EXPECT_TRUE(Slow.get().Run.Ok);
+}
+
+TEST(Service, PeakyRequestDoesNotPinRetainedMemory) {
+  ServiceConfig C;
+  C.Workers = 1;
+  C.MaxRetainedBytes = 512 * 1024;
+  Service S(C);
+  Session Sess(S, mapSumSource());
+  // ~100k live cells at peak: several MB of slabs.
+  ServiceResponse Peaky =
+      Sess.call("bench_mapsum", {Value::makeInt(100000)});
+  ASSERT_TRUE(Peaky.Run.Ok) << Peaky.Run.Error;
+  EXPECT_GT(Peaky.Heap.PeakBytes, 2u << 20);
+  // The trim ran between requests: retained slab bytes are back under
+  // the policy bound (one warm slab), not the request's peak.
+  EXPECT_LE(Peaky.RetainedBytes, C.MaxRetainedBytes);
+  EXPECT_GT(S.stats().TrimmedBytes, 0u);
+  // The trimmed heap is fully reusable.
+  ServiceResponse Small = Sess.call("bench_mapsum", {Value::makeInt(50)});
+  ASSERT_TRUE(Small.Run.Ok);
+  EXPECT_EQ(Small.Run.Result.Int,
+            referenceResult(mapSumSource(), "bench_mapsum", 50));
+  EXPECT_LE(Small.RetainedBytes, C.MaxRetainedBytes);
+}
+
+TEST(Service, GcModeRequestsLeaveThePooledHeapEmpty) {
+  Service S;
+  Session Sess(S, mapSumSource(), PassConfig::gc());
+  int64_t Want =
+      referenceResult(mapSumSource(), "bench_mapsum", 200, PassConfig::gc());
+  for (int I = 0; I != 5; ++I) {
+    ServiceResponse R = Sess.call("bench_mapsum", {Value::makeInt(200)});
+    ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+    EXPECT_EQ(R.Run.Result.Int, Want);
+    // reclaimAll between requests: GC mode pools heaps too.
+    EXPECT_TRUE(R.HeapEmpty);
+  }
+}
+
+TEST(Service, MixedKeysAlternateOnOneWorker) {
+  ServiceConfig C;
+  C.Workers = 1;
+  Service S(C);
+  Session Cek(S, mapSumSource(), PassConfig::perceusFull(), EngineKind::Cek);
+  Session Vm(S, mapSumSource(), PassConfig::perceusFull(), EngineKind::Vm);
+  Session Gc(S, mapSumSource(), PassConfig::gc());
+  int64_t Want = referenceResult(mapSumSource(), "bench_mapsum", 64);
+  for (int I = 0; I != 4; ++I) {
+    for (Session *Sess : {&Cek, &Vm, &Gc}) {
+      ServiceResponse R = Sess->call("bench_mapsum", {Value::makeInt(64)});
+      ASSERT_TRUE(R.Run.Ok) << R.Run.Error;
+      EXPECT_EQ(R.Run.Result.Int, Want);
+      EXPECT_TRUE(R.HeapEmpty);
+    }
+  }
+  // Three keys, twelve requests, one compile each.
+  EXPECT_EQ(S.stats().CacheCompiles, 3u);
+  EXPECT_GE(S.stats().CacheHits, 9u);
+}
+
+TEST(Service, FaultInjectedOomIsCleanlyUnwound) {
+  Service S;
+  for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm}) {
+    Session Sess(S, mapSumSource(), PassConfig::perceusFull(), Engine);
+    ServiceResponse R =
+        Sess.call("bench_mapsum", {Value::makeInt(100)}, RunLimits{}, 7);
+    ASSERT_TRUE(R.Executed);
+    EXPECT_FALSE(R.Run.Ok);
+    EXPECT_EQ(R.Run.Trap, TrapKind::OutOfMemory) << engineKindName(Engine);
+    EXPECT_TRUE(R.HeapEmpty) << engineKindName(Engine);
+    EXPECT_EQ(R.Heap.FailedAllocs, 1u);
+  }
+}
+
+TEST(ServiceJson, ResponsesSerializeToTheStatsSchema) {
+  Service S;
+  Session Sess(S, nqueensSource());
+  RunLimits L;
+  L.DeadlineMs = 5;
+  ServiceResponse R = Sess.call("bench_nqueens", {Value::makeInt(10)}, L);
+  ASSERT_TRUE(R.Executed);
+  ASSERT_EQ(R.Run.Trap, TrapKind::Deadline);
+
+  std::string Text = serviceResponseJson(R);
+  std::string Err;
+  auto Doc = parseJson(Text, &Err);
+  ASSERT_TRUE(Doc) << Err;
+  using K = JsonValue::Kind;
+  const JsonValue *Schema = Doc->find("schema", K::String);
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->Str, "perceus-stats-v1");
+  const JsonValue *Svc = Doc->find("service", K::Object);
+  ASSERT_NE(Svc, nullptr);
+  for (const char *Key : {"queue_ms", "run_ms", "retained_bytes", "worker",
+                          "id", "rc_calls"})
+    EXPECT_NE(Svc->find(Key, K::Number), nullptr) << Key;
+  for (const char *Key : {"executed", "cache_hit", "heap_empty"})
+    EXPECT_NE(Svc->find(Key, K::Bool), nullptr) << Key;
+  EXPECT_EQ(Svc->find("status", K::String)->Str, "ok");
+  // The trapped run is schema-valid and names the new trap kind.
+  const JsonValue *Run = Doc->find("run", K::Object);
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(Run->find("trap", K::String)->Str, "deadline");
+  EXPECT_NE(Doc->find("heap", K::Object), nullptr);
+}
+
+} // namespace

@@ -233,4 +233,76 @@ TEST(StatsJson, BenchReportValidatesAgainstItsSchema) {
   EXPECT_NE(bench::validateBenchJson("not json"), "");
 }
 
+TEST(StatsJson, ValidatorPinsTheTrapNameVocabulary) {
+  // The schema's trap set is closed: "deadline" (the service's
+  // wall-clock trap) is a member, and an unknown name is a violation —
+  // a misspelled or future trap kind must fail loudly, not ride along.
+  bench::BenchProgram MapSum{"mapsum", mapSumSource(), "bench_mapsum", 50,
+                             nullptr};
+  bench::Measurement M = bench::measure(MapSum, PassConfig::perceusFull());
+  ASSERT_TRUE(M.Ran);
+  bench::BenchReport Report("unittest", 1.0);
+  Report.add("mapsum", "perceus", M);
+  std::string Doc = Report.json();
+  ASSERT_EQ(bench::validateBenchJson(Doc), "");
+
+  size_t Pos = Doc.find("\"trap\":\"ok\"");
+  ASSERT_NE(Pos, std::string::npos);
+  for (const char *Known :
+       {"\"trap\":\"deadline\"", "\"trap\":\"out-of-memory\"",
+        "\"trap\":\"out-of-fuel\"", "\"trap\":\"stack-overflow\"",
+        "\"trap\":\"runtime-error\""}) {
+    std::string Known2 = Doc;
+    Known2.replace(Pos, std::strlen("\"trap\":\"ok\""), Known);
+    EXPECT_EQ(bench::validateBenchJson(Known2), "") << Known;
+  }
+  std::string Unknown = Doc;
+  Unknown.replace(Pos, std::strlen("\"trap\":\"ok\""), "\"trap\":\"dedline\"");
+  EXPECT_NE(bench::validateBenchJson(Unknown), "");
+}
+
+TEST(StatsJson, ServiceRowObjectIsValidated) {
+  // A bench row may carry the service telemetry object; when present
+  // every field is required with the right type, and the status comes
+  // from the rejection vocabulary.
+  bench::BenchProgram MapSum{"mapsum", mapSumSource(), "bench_mapsum", 50,
+                             nullptr};
+  bench::Measurement M = bench::measure(MapSum, PassConfig::perceusFull());
+  ASSERT_TRUE(M.Ran);
+  M.Svc.Present = true;
+  M.Svc.Status = "ok";
+  M.Svc.CacheHit = true;
+  M.Svc.QueueMs = 0.2;
+  M.Svc.RunMs = 3.5;
+  M.Svc.RetainedBytes = 262144;
+  bench::BenchReport Report("unittest", 1.0);
+  Report.add("mapsum", "service-cek", M);
+  std::string Doc = Report.json();
+  EXPECT_EQ(bench::validateBenchJson(Doc), "");
+  ASSERT_NE(Doc.find("\"service\""), std::string::npos);
+
+  // Unknown admission status: rejected.
+  std::string BadStatus = Doc;
+  size_t Pos = BadStatus.find("\"status\":\"ok\"");
+  ASSERT_NE(Pos, std::string::npos);
+  BadStatus.replace(Pos, std::strlen("\"status\":\"ok\""),
+                    "\"status\":\"maybe\"");
+  EXPECT_NE(bench::validateBenchJson(BadStatus), "");
+
+  // Missing field: rejected.
+  std::string Missing = Doc;
+  Pos = Missing.find("\"cache_hit\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Missing.replace(Pos, std::strlen("\"cache_hit\""), "\"cache_hti\"");
+  EXPECT_NE(bench::validateBenchJson(Missing), "");
+
+  // Wrong type (bool where a number belongs): rejected.
+  std::string BadType = Doc;
+  Pos = BadType.find("\"retained_bytes\":262144");
+  ASSERT_NE(Pos, std::string::npos);
+  BadType.replace(Pos, std::strlen("\"retained_bytes\":262144"),
+                  "\"retained_bytes\":true");
+  EXPECT_NE(bench::validateBenchJson(BadType), "");
+}
+
 } // namespace
