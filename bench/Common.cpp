@@ -174,13 +174,34 @@ std::string BenchReport::json() const {
       W.key("service")
           .beginObject()
           .member("status", std::string_view(R.M.Svc.Status))
+          .member("tenant", std::string_view(R.M.Svc.Tenant))
           .member("executed", R.M.Svc.Executed)
           .member("cache_hit", R.M.Svc.CacheHit)
           .member("worker", R.M.Svc.Worker)
           .member("queue_ms", R.M.Svc.QueueMs)
           .member("run_ms", R.M.Svc.RunMs)
+          .member("retry_after_ms", R.M.Svc.RetryAfterMs)
           .member("retained_bytes", R.M.Svc.RetainedBytes)
           .member("heap_empty", R.M.Svc.HeapEmpty)
+          .endObject();
+    }
+    if (R.M.Ov.Present) {
+      W.key("overload")
+          .beginObject()
+          .member("tenant", std::string_view(R.M.Ov.Tenant))
+          .member("abusive", R.M.Ov.Abusive)
+          .member("requests", R.M.Ov.Requests)
+          .member("executed", R.M.Ov.Executed)
+          .member("shed", R.M.Ov.Shed)
+          .member("rejected_rate_limited", R.M.Ov.RejectedRateLimited)
+          .member("rejected_tenant_quota", R.M.Ov.RejectedTenantQuota)
+          .member("rejected_queue_full", R.M.Ov.RejectedQueueFull)
+          .member("rejected_circuit_open", R.M.Ov.RejectedCircuitOpen)
+          .member("shed_rate", R.M.Ov.ShedRate)
+          .member("p50_ms", R.M.Ov.P50Ms)
+          .member("p99_ms", R.M.Ov.P99Ms)
+          .member("mean_ms", R.M.Ov.MeanMs)
+          .member("retained_peak_bytes", R.M.Ov.RetainedPeakBytes)
           .endObject();
     }
     W.endObject();
@@ -245,9 +266,13 @@ bool knownTrapName(std::string_view Name) {
   return false;
 }
 
-/// The closed set of admission outcomes a 'service' object may report.
+/// The closed set of admission outcomes a 'service' object may report —
+/// the rejectKindName() vocabulary. Extending RejectKind requires
+/// extending this list (and telemetry_test pins both directions).
 bool knownServiceStatus(std::string_view Name) {
-  for (const char *K : {"ok", "queue-full", "shedding", "compile-error"})
+  for (const char *K : {"ok", "queue-full", "shedding", "compile-error",
+                        "rate-limited", "tenant-quota", "circuit-open",
+                        "bad-request"})
     if (Name == K)
       return true;
   return false;
@@ -327,6 +352,37 @@ std::string perceus::bench::validateBenchJson(std::string_view Text) {
       if (!knownServiceStatus(Svc->find("status", K::String)->Str))
         return "unknown service status '" +
                Svc->find("status", K::String)->Str + "'";
+      // Multi-tenant fields: optional for back-compat with pre-tenancy
+      // documents, type-pinned when present.
+      if (Svc->find("tenant") && !Svc->find("tenant", K::String))
+        return "mistyped 'tenant' in service";
+      if (Svc->find("retry_after_ms") &&
+          !Svc->find("retry_after_ms", K::Number))
+        return "mistyped 'retry_after_ms' in service";
+    }
+    // Overload-mix rows (bench_overload) carry per-tenant open-loop
+    // latency/shedding telemetry; when present its shape is pinned too.
+    if (const JsonValue *Ov = R.find("overload", K::Object)) {
+      if (!requireKey(*Ov, "tenant", K::String, "overload", Err) ||
+          !requireKey(*Ov, "abusive", K::Bool, "overload", Err) ||
+          !requireKey(*Ov, "requests", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "executed", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "shed", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "rejected_rate_limited", K::Number, "overload",
+                      Err) ||
+          !requireKey(*Ov, "rejected_tenant_quota", K::Number, "overload",
+                      Err) ||
+          !requireKey(*Ov, "rejected_queue_full", K::Number, "overload",
+                      Err) ||
+          !requireKey(*Ov, "rejected_circuit_open", K::Number, "overload",
+                      Err) ||
+          !requireKey(*Ov, "shed_rate", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "p50_ms", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "p99_ms", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "mean_ms", K::Number, "overload", Err) ||
+          !requireKey(*Ov, "retained_peak_bytes", K::Number, "overload",
+                      Err))
+        return Err;
     }
     for (const char *Key : RunKeys)
       if (!requireKey(*Run, Key, K::Number, "run", Err))

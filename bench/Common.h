@@ -49,13 +49,37 @@ std::vector<BenchProgram> figure9Programs(double Scale);
 struct ServiceInfo {
   bool Present = false;
   std::string Status = "ok"; ///< rejectKindName() vocabulary
+  std::string Tenant = "default";
   bool Executed = true;
   bool CacheHit = false;
   bool HeapEmpty = true;
   uint64_t Worker = 0;
   double QueueMs = 0;
   double RunMs = 0;
+  uint64_t RetryAfterMs = 0;
   uint64_t RetainedBytes = 0;
+};
+
+/// Per-tenant overload telemetry attached to a row (bench_overload):
+/// open-loop latency percentiles, shed rate, and admission-rejection
+/// breakdown for one tenant of a multi-tenant mix. Rows with
+/// Present=false omit the object.
+struct OverloadInfo {
+  bool Present = false;
+  std::string Tenant;
+  bool Abusive = false;   ///< the tenant driving the overload
+  uint64_t Requests = 0;  ///< submitted by this tenant
+  uint64_t Executed = 0;  ///< ran on a worker
+  uint64_t Shed = 0;      ///< admitted then shed (deadline in queue, stop)
+  uint64_t RejectedRateLimited = 0;
+  uint64_t RejectedTenantQuota = 0;
+  uint64_t RejectedQueueFull = 0;
+  uint64_t RejectedCircuitOpen = 0;
+  double ShedRate = 0;    ///< (shed + rejections) / requests
+  double P50Ms = 0;       ///< end-to-end latency of executed requests
+  double P99Ms = 0;
+  double MeanMs = 0;
+  uint64_t RetainedPeakBytes = 0; ///< worst worker-retained bytes observed
 };
 
 /// One measured cell of the table.
@@ -67,6 +91,7 @@ struct Measurement {
   HeapStats Heap;
   RunResult Run;
   ServiceInfo Svc; ///< service-mode rows only (see ServiceInfo)
+  OverloadInfo Ov; ///< overload-mix rows only (see OverloadInfo)
 };
 
 /// Runs \p Prog under \p Config on the engine \p EC selects, once, and

@@ -39,7 +39,8 @@
 /// Service batch mode (the long-lived session engine, src/service):
 ///
 ///   perc FILE.perc --serve [--requests=FILE] [--serve-workers=N]
-///        [--queue-cap=N] [--max-retained=BYTES]
+///        [--queue-cap=N] [--max-retained=BYTES] [--tenant=NAME]
+///        [--max-cache-bytes=BYTES] [--chaos-seed=N]
 ///
 /// compiles the program once and executes one request per input line
 /// (stdin by default) against pooled worker heaps, printing one
@@ -47,10 +48,18 @@
 ///
 ///   ENTRY [ARGS...] [--fuel=N] [--deadline-ms=N] [--fail-alloc=N]
 ///         [--max-depth=N] [--engine=cek|vm] [--config=NAME]
+///         [--tenant=NAME]
 ///
-/// (`#` starts a comment; blank lines are skipped). Rejections and traps
-/// are structured results in the JSON, not process failures: the exit
-/// code is 0 whenever serving itself worked.
+/// or a single flat JSON object ({"entry":"main","args":[3],...} — see
+/// parseServiceRequestJson). `#` starts a comment; blank lines are
+/// skipped. A malformed line (unknown option, bad number, invalid JSON)
+/// produces a structured "bad-request" JSON response line — never a
+/// silent skip, never an abort. Rejections and traps are structured
+/// results in the JSON, not process failures: the exit code is 0
+/// whenever serving itself worked. `--tenant=` sets the default tenant
+/// for every request; `--max-cache-bytes=` bounds the artifact cache
+/// (LRU eviction); `--chaos-seed=` enables seeded fault injection at
+/// every service boundary (ChaosConfig::defaults).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -91,7 +100,9 @@ void usage() {
                "            [--shared-input=FN] [--shared-arg=N] "
                "[ARGS...]\n"
                "       perc FILE.perc --serve [--requests=FILE] "
-               "[--serve-workers=N] [--queue-cap=N] [--max-retained=BYTES]\n");
+               "[--serve-workers=N] [--queue-cap=N] [--max-retained=BYTES]\n"
+               "            [--tenant=NAME] [--max-cache-bytes=BYTES] "
+               "[--chaos-seed=N]\n");
 }
 
 bool parsePassConfig(const char *Name, PassConfig &Out) {
@@ -185,24 +196,42 @@ bool writeStatsJson(const std::string &Path, const std::string &File,
   return true;
 }
 
-/// One request line: ENTRY [ARGS...] with optional per-request overrides.
-/// Returns false (with a stderr note) on a malformed line, which is
-/// skipped — one bad line must not kill a batch.
-bool parseRequestLine(const std::string &Line, size_t LineNo,
-                      ServiceRequest &R) {
+/// Result of parsing one request line.
+enum class LineParse {
+  Ok,   ///< request filled in
+  Skip, ///< blank line or comment — nothing to do
+  Bad,  ///< malformed: the caller emits a structured bad-request line
+};
+
+/// One request line: ENTRY [ARGS...] with optional per-request overrides,
+/// or a single JSON object (see parseServiceRequestJson). A malformed
+/// line is Bad with a diagnostic in \p Error — the serve loop answers it
+/// with a structured "bad-request" response; it is never silently
+/// ignored and never kills the batch.
+LineParse parseRequestLine(const std::string &Line, ServiceRequest &R,
+                           std::string &Error) {
+  size_t First = Line.find_first_not_of(" \t");
+  if (First == std::string::npos || Line[First] == '#')
+    return LineParse::Skip;
+  if (Line[First] == '{')
+    return parseServiceRequestJson(
+               std::string_view(Line).substr(First), R, Error)
+               ? LineParse::Ok
+               : LineParse::Bad;
+
   std::istringstream Toks(Line);
   std::string Tok;
   bool HaveEntry = false;
+  bool BadNum = false;
   auto matchNum = [&](const char *Flag, uint64_t &Out) {
     size_t Len = std::strlen(Flag);
     if (Tok.compare(0, Len, Flag) != 0)
       return false;
     char *End = nullptr;
     Out = std::strtoull(Tok.c_str() + Len, &End, 10);
-    if (*End != '\0') {
-      std::fprintf(stderr, "serve: line %zu: %s expects a number\n", LineNo,
-                   Flag);
-      Out = 0;
+    if (End == Tok.c_str() + Len || *End != '\0') {
+      Error = std::string(Flag) + " expects a number, got '" + Tok + "'";
+      BadNum = true;
     }
     return true;
   };
@@ -212,38 +241,66 @@ bool parseRequestLine(const std::string &Line, size_t LineNo,
     if (matchNum("--fuel=", R.Limits.Fuel) ||
         matchNum("--deadline-ms=", R.Limits.DeadlineMs) ||
         matchNum("--max-depth=", R.Limits.MaxCallDepth) ||
-        matchNum("--fail-alloc=", R.FailAlloc))
+        matchNum("--fail-alloc=", R.FailAlloc)) {
+      if (BadNum)
+        return LineParse::Bad;
       continue;
+    }
     if (Tok.compare(0, 9, "--engine=") == 0) {
       if (!parseEngineKind(Tok.c_str() + 9, R.Engine)) {
-        std::fprintf(stderr, "serve: line %zu: unknown engine '%s'\n",
-                     LineNo, Tok.c_str() + 9);
-        return false;
+        Error = "unknown engine '" + Tok.substr(9) + "'";
+        return LineParse::Bad;
       }
       continue;
     }
     if (Tok.compare(0, 9, "--config=") == 0) {
       if (!parsePassConfig(Tok.c_str() + 9, R.Config)) {
-        std::fprintf(stderr, "serve: line %zu: unknown config '%s'\n",
-                     LineNo, Tok.c_str() + 9);
-        return false;
+        Error = "unknown config '" + Tok.substr(9) + "'";
+        return LineParse::Bad;
       }
       continue;
+    }
+    if (Tok.compare(0, 9, "--tenant=") == 0) {
+      if (Tok.size() == 9) {
+        Error = "--tenant= expects a name";
+        return LineParse::Bad;
+      }
+      R.Tenant = Tok.substr(9);
+      continue;
+    }
+    // Any other option-shaped token is a client bug; answer it
+    // structurally instead of misreading it as an entry point or an
+    // argument (which is what silent fall-through used to do).
+    if (Tok.size() >= 2 && Tok[0] == '-' && Tok[1] == '-') {
+      Error = "unknown request option '" + Tok + "'";
+      return LineParse::Bad;
     }
     if (!HaveEntry) {
       R.Entry = Tok;
       HaveEntry = true;
     } else {
-      R.Args.push_back(Value::makeInt(std::atoll(Tok.c_str())));
+      char *End = nullptr;
+      long long V = std::strtoll(Tok.c_str(), &End, 10);
+      if (End == Tok.c_str() || *End != '\0') {
+        Error = "argument '" + Tok + "' is not an integer";
+        return LineParse::Bad;
+      }
+      R.Args.push_back(Value::makeInt(V));
     }
   }
-  return HaveEntry;
+  if (!HaveEntry) {
+    Error = "request line has no entry point";
+    return LineParse::Bad;
+  }
+  return LineParse::Ok;
 }
 
 int serveMain(const std::string &Source, const PassConfig &DefConfig,
               EngineKind DefEngine, const RunLimits &DefLimits,
               const std::string &RequestsPath, unsigned Workers,
-              size_t QueueCap, size_t MaxRetained) {
+              size_t QueueCap, size_t MaxRetained,
+              const std::string &DefTenant, size_t MaxCacheBytes,
+              uint64_t ChaosSeed) {
   std::ifstream FileIn;
   std::istream *In = &std::cin;
   if (RequestsPath != "-") {
@@ -260,12 +317,15 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
   SC.Workers = Workers;
   SC.QueueCapacity = QueueCap;
   SC.MaxRetainedBytes = MaxRetained;
+  SC.MaxCacheBytes = MaxCacheBytes;
+  if (ChaosSeed)
+    SC.Chaos = ChaosConfig::defaults(ChaosSeed);
   Service S(SC);
 
   // Compile failures reject every request identically; diagnose once on
   // stderr and make the batch exit nonzero.
   bool CompileFailed = false;
-  uint64_t OkCount = 0, Trapped = 0, Rejected = 0;
+  uint64_t OkCount = 0, Trapped = 0, Rejected = 0, BadLines = 0;
 
   // The CLI applies backpressure by keeping at most the queue capacity
   // in flight; responses print in submission order, one JSON per line.
@@ -292,12 +352,30 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
   while (std::getline(*In, Line)) {
     ++LineNo;
     ServiceRequest R;
+    R.Tenant = DefTenant;
     R.Source = Source;
     R.Config = DefConfig;
     R.Engine = DefEngine;
     R.Limits = DefLimits;
-    if (!parseRequestLine(Line, LineNo, R))
+    std::string ParseError;
+    switch (parseRequestLine(Line, R, ParseError)) {
+    case LineParse::Skip:
       continue;
+    case LineParse::Bad: {
+      // A malformed line gets a structured response of its own — the
+      // client sees exactly which line was refused and why, in the same
+      // one-JSON-per-request protocol as everything else.
+      ++BadLines;
+      ServiceResponse Bad;
+      Bad.Tenant = R.Tenant;
+      Bad.Reject = RejectKind::BadRequest;
+      Bad.Error = "line " + std::to_string(LineNo) + ": " + ParseError;
+      std::printf("%s\n", serviceResponseJson(Bad).c_str());
+      continue;
+    }
+    case LineParse::Ok:
+      break;
+    }
     if (InFlight.size() >= SC.QueueCapacity)
       drainOne();
     InFlight.push_back(S.submit(std::move(R)));
@@ -309,11 +387,14 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
   ServiceStats ST = S.stats();
   std::fprintf(stderr,
                "[serve] requests=%llu ok=%llu traps=%llu rejected=%llu "
-               "cache-hits=%llu compiles=%llu trimmed=%lluB\n",
+               "bad-lines=%llu cache-hits=%llu compiles=%llu "
+               "evictions=%llu trimmed=%lluB\n",
                (unsigned long long)ST.Submitted, (unsigned long long)OkCount,
                (unsigned long long)Trapped, (unsigned long long)Rejected,
+               (unsigned long long)BadLines,
                (unsigned long long)ST.CacheHits,
                (unsigned long long)ST.CacheCompiles,
+               (unsigned long long)ST.CacheEvictions,
                (unsigned long long)ST.TrimmedBytes);
   return CompileFailed ? 1 : 0;
 }
@@ -331,6 +412,8 @@ int main(int Argc, char **Argv) {
   bool Serve = false;
   std::string Requests = "-";
   uint64_t ServeWorkers = 1, QueueCap = 64, MaxRetained = 8u << 20;
+  uint64_t MaxCacheBytes = 0, ChaosSeed = 0;
+  std::string Tenant = "default";
   std::string SharedInput;
   std::vector<int64_t> SharedArgs;
   std::vector<int64_t> Args;
@@ -372,8 +455,16 @@ int main(int Argc, char **Argv) {
       Requests = A + 11;
     } else if (parseCount(A, "--serve-workers=", ServeWorkers) ||
                parseCount(A, "--queue-cap=", QueueCap) ||
-               parseCount(A, "--max-retained=", MaxRetained)) {
+               parseCount(A, "--max-retained=", MaxRetained) ||
+               parseCount(A, "--max-cache-bytes=", MaxCacheBytes) ||
+               parseCount(A, "--chaos-seed=", ChaosSeed)) {
       // handled in serve mode below
+    } else if (std::strncmp(A, "--tenant=", 9) == 0) {
+      Tenant = A + 9;
+      if (Tenant.empty()) {
+        std::fprintf(stderr, "error: --tenant= expects a name\n");
+        return 1;
+      }
     } else if (parseCount(A, "--fuel=", Limits.Fuel) ||
                parseCount(A, "--deadline-ms=", Limits.DeadlineMs) ||
                parseCount(A, "--max-depth=", Limits.MaxCallDepth) ||
@@ -409,7 +500,8 @@ int main(int Argc, char **Argv) {
     return serveMain(Source, Config, EC.Engine, Limits, Requests,
                      static_cast<unsigned>(ServeWorkers),
                      static_cast<size_t>(QueueCap),
-                     static_cast<size_t>(MaxRetained));
+                     static_cast<size_t>(MaxRetained), Tenant,
+                     static_cast<size_t>(MaxCacheBytes), ChaosSeed);
 
   if (PassStats) {
     Program P;

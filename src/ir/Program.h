@@ -66,6 +66,7 @@ public:
   Program &operator=(const Program &) = delete;
 
   Arena &arena() { return A; }
+  const Arena &arena() const { return A; }
   SymbolTable &symbols() { return Syms; }
   const SymbolTable &symbols() const { return Syms; }
 

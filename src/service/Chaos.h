@@ -1,0 +1,119 @@
+//===- service/Chaos.h - Seeded fault injection at service scale -*-C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos configuration for the request service: threads the existing
+/// FaultInjector machinery through the service boundaries so a soak run
+/// can inject compile-time allocation faults, per-request heap OOM, fuel
+/// and deadline squeezes, and worker stalls — all deterministically from
+/// one seed. The plan for request N is a pure function of (Seed, N), so
+/// a failing soak reproduces from its seed alone.
+///
+/// Chaos never changes *what* the service promises, only how often the
+/// hard paths run: every injected fault must still produce a structured
+/// trap or rejection, a clean unwind, and an empty worker heap — the
+/// same garbage-free invariant the paper guarantees for normal traps.
+/// Seed == 0 disables everything; the service's default config injects
+/// nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SERVICE_CHAOS_H
+#define PERCEUS_SERVICE_CHAOS_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace perceus {
+
+/// Probabilities are per-mille (0..1000) so configs stay integral and
+/// deterministic across platforms. All zero = that fault class off.
+struct ChaosConfig {
+  uint64_t Seed = 0; ///< 0 disables chaos entirely
+
+  /// Per-request probability (per-mille) of failing one allocation
+  /// mid-run: the request gets failNth(k) for a small seeded k, driving
+  /// the OOM unwind path.
+  uint32_t AllocFaultPerMille = 0;
+  /// Per-request probability (per-mille) of squeezing the fuel limit to
+  /// a small seeded value, driving the out-of-fuel trap.
+  uint32_t FuelSqueezePerMille = 0;
+  /// Per-request probability (per-mille) of imposing a 1ms deadline,
+  /// driving the deadline trap on anything nontrivial.
+  uint32_t DeadlineSqueezePerMille = 0;
+  /// Per-request probability (per-mille) of stalling the worker briefly
+  /// before the run, widening queue-delay windows (shed-while-queued,
+  /// breaker cooldowns) that are otherwise hard to hit.
+  uint32_t WorkerStallPerMille = 0;
+  /// Max stall per injection, in microseconds.
+  uint32_t WorkerStallMaxUs = 500;
+  /// Probability (per-mille) that a *compile* on a cache miss fails with
+  /// an injected arena allocation fault. The failure is transient: it is
+  /// reported as a compile-error response but never cached, so the next
+  /// request for the key recompiles cleanly (distinguishing injected
+  /// faults from genuinely bad sources, which are negative-cached).
+  uint32_t CompileFaultPerMille = 0;
+
+  bool enabled() const {
+    return Seed != 0 &&
+           (AllocFaultPerMille | FuelSqueezePerMille |
+            DeadlineSqueezePerMille | WorkerStallPerMille |
+            CompileFaultPerMille) != 0;
+  }
+
+  /// A moderately nasty preset used by the chaos soak suite.
+  static ChaosConfig defaults(uint64_t Seed) {
+    ChaosConfig C;
+    C.Seed = Seed;
+    C.AllocFaultPerMille = 100;    // 10% of requests lose an allocation
+    C.FuelSqueezePerMille = 80;    // 8% run on fumes
+    C.DeadlineSqueezePerMille = 60;// 6% get a 1ms deadline
+    C.WorkerStallPerMille = 50;    // 5% of workers naps up to 500us
+    C.CompileFaultPerMille = 50;   // 5% of cache-miss compiles fail once
+    return C;
+  }
+};
+
+/// What chaos does to one specific request, fully determined by
+/// (config, request id). Zero fields mean "leave that axis alone".
+struct ChaosPlan {
+  uint64_t FailAllocNth = 0;   ///< failNth override when nonzero
+  uint64_t FuelLimit = 0;      ///< fuel clamp when nonzero
+  uint64_t DeadlineMs = 0;     ///< deadline clamp when nonzero
+  uint32_t StallUs = 0;        ///< pre-run worker stall
+  bool FailCompile = false;    ///< inject a transient compile fault
+
+  bool any() const {
+    return FailAllocNth || FuelLimit || DeadlineMs || StallUs || FailCompile;
+  }
+};
+
+/// Derives the plan for request \p Id. Each request gets an independent
+/// SplitMix64 stream keyed off the seed and the id, so plans do not
+/// depend on arrival order or worker interleaving.
+inline ChaosPlan planChaos(const ChaosConfig &C, uint64_t Id) {
+  ChaosPlan P;
+  if (!C.enabled())
+    return P;
+  Rng R(C.Seed ^ (Id * 0x9e3779b97f4a7c15ULL) ^ 0xc6a4a7935bd1e995ULL);
+  if (C.AllocFaultPerMille && R.chance(C.AllocFaultPerMille, 1000))
+    P.FailAllocNth = 1 + R.below(64); // fail early: small programs alloc few
+  if (C.FuelSqueezePerMille && R.chance(C.FuelSqueezePerMille, 1000))
+    P.FuelLimit = 1 + R.below(256);
+  if (C.DeadlineSqueezePerMille && R.chance(C.DeadlineSqueezePerMille, 1000))
+    P.DeadlineMs = 1;
+  if (C.WorkerStallPerMille && R.chance(C.WorkerStallPerMille, 1000) &&
+      C.WorkerStallMaxUs)
+    P.StallUs = static_cast<uint32_t>(1 + R.below(C.WorkerStallMaxUs));
+  if (C.CompileFaultPerMille && R.chance(C.CompileFaultPerMille, 1000))
+    P.FailCompile = true;
+  return P;
+}
+
+} // namespace perceus
+
+#endif // PERCEUS_SERVICE_CHAOS_H

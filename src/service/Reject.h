@@ -1,0 +1,43 @@
+//===- service/Reject.h - Structured admission outcomes ---------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closed vocabulary of structured admission outcomes. A rejection is
+/// a *response*, never an abort: every kind here maps to a stable name
+/// ("queue-full", "rate-limited", ...) that flows into the
+/// perceus-stats-v1 `service` object and the perceus-bench-v1 validator's
+/// closed status set. Split out of Service.h so the admission-policy
+/// layer (TenantGovernor, CircuitBreaker) can speak the same vocabulary
+/// without a circular include.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_SERVICE_REJECT_H
+#define PERCEUS_SERVICE_REJECT_H
+
+#include <cstdint>
+
+namespace perceus {
+
+/// Why a request was refused without executing. Rejections are structured
+/// outcomes — the service never aborts on overload.
+enum class RejectKind : uint8_t {
+  None,         ///< not rejected (see Executed / Run)
+  QueueFull,    ///< bounded queue at capacity at submit time
+  Shedding,     ///< shed: stopping, or deadline expired while queued
+  CompileError, ///< the (cached) compilation of the key failed
+  RateLimited,  ///< the tenant's token bucket is empty
+  TenantQuota,  ///< tenant over max-in-flight or over fair share
+  CircuitOpen,  ///< the source's circuit breaker is open (trap storm)
+  BadRequest,   ///< structurally invalid request (empty entry, bad JSON)
+};
+
+/// Short stable name ("ok", "queue-full", ...) for logs and JSON.
+const char *rejectKindName(RejectKind K);
+
+} // namespace perceus
+
+#endif // PERCEUS_SERVICE_REJECT_H

@@ -15,6 +15,7 @@
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace perceus;
@@ -29,6 +30,14 @@ const char *perceus::rejectKindName(RejectKind K) {
     return "shedding";
   case RejectKind::CompileError:
     return "compile-error";
+  case RejectKind::RateLimited:
+    return "rate-limited";
+  case RejectKind::TenantQuota:
+    return "tenant-quota";
+  case RejectKind::CircuitOpen:
+    return "circuit-open";
+  case RejectKind::BadRequest:
+    return "bad-request";
   }
   return "unknown";
 }
@@ -40,9 +49,16 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+uint64_t toMicros(double Seconds) {
+  return Seconds <= 0 ? 0 : static_cast<uint64_t>(Seconds * 1e6);
+}
+
 /// The artifact cache key: every PassConfig axis and the engine, then the
 /// source verbatim. Field-by-field (not PassConfig::name()) because
 /// name() collapses hand-built configurations onto the nearest stock one.
+/// Deliberately tenant-free: tenants over the same program share one
+/// artifact (and one circuit breaker — a trap storm is a property of the
+/// source, not of who submits it).
 std::string cacheKey(const ServiceRequest &R) {
   std::string Key;
   Key.reserve(R.Source.size() + 16);
@@ -59,6 +75,44 @@ std::string cacheKey(const ServiceRequest &R) {
   return Key;
 }
 
+/// Estimated resident bytes of one artifact: the source, the IR arena
+/// (which owns every expression tree), the layout side tables, and the
+/// bytecode pools. An estimate — container headers and hash-map slack
+/// are approximated by a flat per-entry overhead — but a *monotone* one:
+/// bigger programs always report more, which is all LRU accounting needs.
+size_t artifactFootprint(const CompiledArtifact &Art,
+                         const std::string &Source) {
+  size_t B = sizeof(CompiledArtifact) + Source.size();
+  if (Art.Prog)
+    B += Art.Prog->arena().bytesAllocated();
+  if (Art.Layout) {
+    B += Art.Layout->FuncFrameSize.size() * sizeof(uint32_t);
+    for (const auto &Slots : Art.Layout->SlotLists)
+      B += sizeof(std::vector<uint32_t>) + Slots.size() * sizeof(uint32_t);
+  }
+  if (Art.Code) {
+    const CompiledProgram &C = *Art.Code;
+    auto ChunkBytes = [](const Chunk &Ch) {
+      return sizeof(Chunk) + Ch.Code.size() * sizeof(Instr) +
+             Ch.Sites.size() * sizeof(const Expr *) +
+             (Ch.CaptureSrc.size() + Ch.CaptureDst.size()) * sizeof(uint16_t);
+    };
+    for (const Chunk &Ch : C.Funcs)
+      B += ChunkBytes(Ch);
+    for (const Chunk &Ch : C.Lams)
+      B += ChunkBytes(Ch);
+    B += C.Consts.size() * sizeof(Value);
+    for (const MatchTable &M : C.Matches)
+      B += sizeof(MatchTable) + M.Arms.size() * sizeof(MatchArmCode);
+    B += C.BinderSlots.size() * sizeof(uint16_t);
+    for (const std::string &M : C.Messages)
+      B += sizeof(std::string) + M.size();
+  }
+  for (const auto &KV : Art.Functions)
+    B += sizeof(FuncId) + KV.first.size() + 32; // hash-map entry overhead
+  return B;
+}
+
 /// Compiles one key into an immutable artifact. Runs on whichever worker
 /// first needs the key; everyone else blocks on the shared_future.
 std::shared_ptr<const CompiledArtifact>
@@ -70,6 +124,7 @@ compileArtifact(const ServiceRequest &R) {
   DiagnosticEngine Diags;
   if (!compileSource(R.Source, *Art->Prog, Diags)) {
     Art->Error = "program failed to compile:\n" + Diags.str();
+    Art->SizeBytes = artifactFootprint(*Art, R.Source);
     return Art;
   }
   runPipeline(*Art->Prog, R.Config);
@@ -83,6 +138,7 @@ compileArtifact(const ServiceRequest &R) {
         std::string(Art->Prog->symbols().name(Art->Prog->function(F).Name)),
         F);
   Art->Ok = true;
+  Art->SizeBytes = artifactFootprint(*Art, R.Source);
   return Art;
 }
 
@@ -113,7 +169,9 @@ HeapStats diffStats(const HeapStats &After, const HeapStats &Before) {
 
 } // namespace
 
-Service::Service(const ServiceConfig &C) : Config(C) {
+Service::Service(const ServiceConfig &C)
+    : Config(C), Governor(C.DefaultTenantPolicy),
+      Breaker(C.BreakerTrapThreshold, C.BreakerCooldownMs) {
   if (Config.Workers == 0)
     Config.Workers = 1;
   if (Config.QueueCapacity == 0)
@@ -129,10 +187,15 @@ void Service::stop() {
   std::deque<Pending> Shed;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
-    if (Stopping && Queue.empty() && Workers.empty())
+    if (Stopping && TotalQueued == 0 && Workers.empty())
       return;
     Stopping = true;
-    Shed.swap(Queue);
+    for (auto &KV : TenantQueues)
+      for (Pending &P : KV.second)
+        Shed.push_back(std::move(P));
+    TenantQueues.clear();
+    RoundRobin.clear();
+    TotalQueued = 0;
   }
   QueueCv.notify_all();
   for (std::thread &T : Workers)
@@ -141,14 +204,11 @@ void Service::stop() {
   for (Pending &P : Shed) {
     ServiceResponse Resp;
     Resp.Id = P.Id;
+    Resp.Tenant = P.Req.Tenant;
     Resp.Reject = RejectKind::Shedding;
     Resp.Error = "service stopping";
     Resp.QueueSeconds = secondsSince(P.Enqueued);
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      ++Stats.RejectedShedding;
-    }
-    P.Promise.set_value(std::move(Resp));
+    finishRequest(P, std::move(Resp));
   }
 }
 
@@ -157,37 +217,100 @@ std::future<ServiceResponse> Service::submit(ServiceRequest R) {
   P.Req = std::move(R);
   P.Enqueued = std::chrono::steady_clock::now();
   std::future<ServiceResponse> Fut = P.Promise.get_future();
+  Stats.Submitted.fetch_add(1, std::memory_order_relaxed);
 
   RejectKind Reject = RejectKind::None;
+  uint64_t RetryAfterMs = 0;
+  std::string Error;
+  bool GovernorAdmitted = false;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     P.Id = NextId++;
-    if (Stopping)
+    if (Stopping) {
       Reject = RejectKind::Shedding;
-    else if (Queue.size() >= Config.QueueCapacity)
+      Error = "service stopping";
+    } else if (P.Req.Source.empty() || P.Req.Entry.empty()) {
+      // Structural validation first: a malformed request must not burn a
+      // token or a queue slot.
+      Reject = RejectKind::BadRequest;
+      Error = P.Req.Source.empty() ? "request has empty source"
+                                   : "request has empty entry point";
+    } else if (TotalQueued >= Config.QueueCapacity) {
       Reject = RejectKind::QueueFull;
-    else
-      Queue.push_back(std::move(P));
+      Error = "request queue at capacity";
+      RetryAfterMs = 5;
+    } else {
+      // Governor before breaker: a breaker rejection must release the
+      // governor's in-flight slot (below), but the reverse — a breaker
+      // probe granted and then thrown away by a governor rejection —
+      // would wedge the breaker in half-open.
+      auto Now = std::chrono::steady_clock::now();
+      auto TQ = TenantQueues.find(P.Req.Tenant);
+      size_t TenantQueued = TQ == TenantQueues.end() ? 0 : TQ->second.size();
+      TenantGovernor::Decision GD = Governor.admit(
+          P.Req.Tenant, Now, TenantQueued, TotalQueued, Config.QueueCapacity);
+      if (GD.Reject != RejectKind::None) {
+        Reject = GD.Reject;
+        RetryAfterMs = GD.RetryAfterMs;
+        Error = GD.Error;
+      } else {
+        GovernorAdmitted = true;
+        P.Key = cacheKey(P.Req);
+        CircuitBreaker::Decision BD = Breaker.admit(P.Key, Now);
+        if (!BD.Allow) {
+          Reject = RejectKind::CircuitOpen;
+          RetryAfterMs = BD.RetryAfterMs;
+          Error = "source circuit breaker open (recent trap storm)";
+        } else {
+          Governor.clampLimits(P.Req.Tenant, P.Req.Limits);
+          P.Plan = planChaos(Config.Chaos, P.Id);
+          if (P.Plan.any())
+            Stats.ChaosInjected.fetch_add(1, std::memory_order_relaxed);
+          std::deque<Pending> &Q = TenantQueues[P.Req.Tenant];
+          if (Q.empty())
+            RoundRobin.push_back(P.Req.Tenant);
+          Q.push_back(std::move(P));
+          ++TotalQueued;
+        }
+      }
+    }
   }
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    ++Stats.Submitted;
-    if (Reject == RejectKind::QueueFull)
-      ++Stats.RejectedQueueFull;
-    else if (Reject == RejectKind::Shedding)
-      ++Stats.RejectedShedding;
-  }
-  if (Reject != RejectKind::None) {
-    ServiceResponse Resp;
-    Resp.Id = P.Id;
-    Resp.Reject = Reject;
-    Resp.Error = Reject == RejectKind::QueueFull
-                     ? "request queue at capacity"
-                     : "service stopping";
-    P.Promise.set_value(std::move(Resp));
+  if (Reject == RejectKind::None) {
+    QueueCv.notify_one();
     return Fut;
   }
-  QueueCv.notify_one();
+
+  ServiceResponse Resp;
+  Resp.Id = P.Id;
+  Resp.Tenant = P.Req.Tenant;
+  Resp.Reject = Reject;
+  Resp.RetryAfterMs = RetryAfterMs;
+  Resp.Error = std::move(Error);
+  switch (Reject) {
+  case RejectKind::QueueFull:
+    Stats.RejectedQueueFull.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case RejectKind::Shedding:
+    Stats.RejectedShedding.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case RejectKind::RateLimited:
+    Stats.RejectedRateLimited.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case RejectKind::TenantQuota:
+    Stats.RejectedTenantQuota.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case RejectKind::CircuitOpen:
+    Stats.RejectedCircuitOpen.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case RejectKind::BadRequest:
+    Stats.RejectedBadRequest.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    break;
+  }
+  if (GovernorAdmitted) // breaker rejected after admission: release slot
+    Governor.onOutcome(Resp.Tenant, Resp);
+  P.Promise.set_value(std::move(Resp));
   return Fut;
 }
 
@@ -201,16 +324,31 @@ bool Service::precompile(const std::string &Source, const PassConfig &Config,
   R.Source = Source;
   R.Config = Config;
   R.Engine = Engine;
-  bool Hit = false;
-  std::shared_ptr<const CompiledArtifact> Art = artifactFor(R, Hit);
+  std::string Key = cacheKey(R);
+  bool Hit = false, Pinned = false;
+  std::shared_ptr<const CompiledArtifact> Art =
+      artifactFor(Key, R, Hit, Pinned, /*TransientFail=*/false);
+  if (Pinned)
+    unpinArtifact(Key);
   if (!Art->Ok && Error)
     *Error = Art->Error;
   return Art->Ok;
 }
 
+void Service::setTenantPolicy(const std::string &Tenant,
+                              const TenantPolicy &P) {
+  Governor.setPolicy(Tenant, P);
+}
+
+TenantCounters Service::tenantStats(const std::string &Tenant) const {
+  return Governor.counters(Tenant);
+}
+
+std::vector<std::string> Service::tenants() const { return Governor.tenants(); }
+
 std::shared_ptr<const CompiledArtifact>
-Service::artifactFor(const ServiceRequest &R, bool &CacheHit) {
-  std::string Key = cacheKey(R);
+Service::artifactFor(const std::string &Key, const ServiceRequest &R,
+                     bool &CacheHit, bool &Pinned, bool TransientFail) {
   std::shared_future<std::shared_ptr<const CompiledArtifact>> Fut;
   std::promise<std::shared_ptr<const CompiledArtifact>> Mine;
   bool Compile = false;
@@ -219,24 +357,147 @@ Service::artifactFor(const ServiceRequest &R, bool &CacheHit) {
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
       CacheHit = true;
-      Fut = It->second;
+      CacheEntry &E = It->second;
+      ++E.Pins;
+      Pinned = true;
+      if (E.InLru)
+        Lru.splice(Lru.begin(), Lru, E.LruIt); // touch: now most recent
+      Fut = E.Fut;
+    } else if (TransientFail) {
+      // Injected compile fault on a miss: fail this request without
+      // caching anything, so the key's next request compiles cleanly.
+      // (Distinct from a genuinely bad source, which negative-caches.)
+      CacheHit = false;
     } else {
       CacheHit = false;
       Compile = true;
       Fut = Mine.get_future().share();
-      Cache.emplace(std::move(Key), Fut);
+      CacheEntry E;
+      E.Fut = Fut;
+      E.Pins = 1;
+      Cache.emplace(Key, std::move(E));
+      Pinned = true;
     }
   }
-  {
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    if (CacheHit)
-      ++Stats.CacheHits;
-    else
-      ++Stats.CacheCompiles;
+  if (CacheHit) {
+    Stats.CacheHits.fetch_add(1, std::memory_order_relaxed);
+    return Fut.get();
   }
-  if (Compile)
-    Mine.set_value(compileArtifact(R));
+  if (TransientFail) {
+    auto Art = std::make_shared<CompiledArtifact>();
+    Art->Config = R.Config;
+    Art->Engine = R.Engine;
+    Art->Error = "injected transient compile-time allocation fault";
+    return Art;
+  }
+  Stats.CacheCompiles.fetch_add(1, std::memory_order_relaxed);
+  if (Compile) {
+    std::shared_ptr<const CompiledArtifact> Art = compileArtifact(R);
+    {
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      settleCacheEntryLocked(Key, *Art);
+    }
+    Mine.set_value(Art);
+  }
   return Fut.get();
+}
+
+void Service::unpinArtifact(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  auto It = Cache.find(Key);
+  if (It == Cache.end())
+    return;
+  if (It->second.Pins > 0)
+    --It->second.Pins;
+  // A just-unpinned entry may be the one holding the cache over budget.
+  evictToBudgetLocked();
+}
+
+void Service::settleCacheEntryLocked(const std::string &Key,
+                                     const CompiledArtifact &Art) {
+  auto It = Cache.find(Key);
+  if (It == Cache.end())
+    return; // unreachable: the compiling request holds a pin
+  CacheEntry &E = It->second;
+  E.Ready = true;
+  E.Negative = !Art.Ok;
+  // Negative entries still occupy their diagnostics; give everything a
+  // floor so even empty entries have eviction weight.
+  E.Bytes = std::max<size_t>(Art.SizeBytes, 64);
+  CacheBytes += E.Bytes;
+  E.LruIt = Lru.insert(Lru.begin(), Key);
+  E.InLru = true;
+  evictToBudgetLocked();
+}
+
+void Service::evictToBudgetLocked() {
+  if (Config.MaxCacheBytes != 0) {
+    // Pass 1: negative (failed-compile) entries, cheapest first. They
+    // exist only to dedup diagnostics; recompiling one is cheap and
+    // yields the same error.
+    while (CacheBytes > Config.MaxCacheBytes) {
+      auto Best = Cache.end();
+      for (auto It = Cache.begin(); It != Cache.end(); ++It) {
+        const CacheEntry &E = It->second;
+        if (E.Ready && E.Negative && E.Pins == 0 &&
+            (Best == Cache.end() || E.Bytes < Best->second.Bytes))
+          Best = It;
+      }
+      if (Best == Cache.end())
+        break;
+      CacheBytes -= Best->second.Bytes;
+      if (Best->second.InLru)
+        Lru.erase(Best->second.LruIt);
+      Cache.erase(Best);
+      Stats.CacheEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Pass 2: plain LRU from the cold end, skipping pinned entries.
+    // Eviction is silent: the evicted key's next request recompiles; it
+    // is never a rejection. Pinned-by-running entries can transiently
+    // hold the cache over budget — they drain as their requests finish.
+    auto It = Lru.end();
+    while (CacheBytes > Config.MaxCacheBytes && It != Lru.begin()) {
+      --It;
+      auto CIt = Cache.find(*It);
+      if (CIt == Cache.end()) { // stale name; drop it
+        It = Lru.erase(It);
+        continue;
+      }
+      CacheEntry &E = CIt->second;
+      if (!E.Ready || E.Pins != 0)
+        continue;
+      CacheBytes -= E.Bytes;
+      Cache.erase(CIt);
+      It = Lru.erase(It);
+      Stats.CacheEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Stats.CacheBytes.store(CacheBytes, std::memory_order_relaxed);
+}
+
+void Service::finishRequest(Pending &P, ServiceResponse Resp) {
+  // Admission-side bookkeeping: the governor releases the in-flight slot
+  // and folds telemetry into the tenant ledger; the breaker hears the
+  // verdict for the source key (non-executed outcomes release a probe
+  // without tripping or healing).
+  Governor.onOutcome(Resp.Tenant, Resp);
+  if (!P.Key.empty())
+    Breaker.onOutcome(P.Key, Resp.Executed, Resp.Executed && !Resp.Run.Ok,
+                      std::chrono::steady_clock::now());
+  if (Resp.Executed) {
+    Stats.Executed.fetch_add(1, std::memory_order_relaxed);
+    if (!Resp.Run.Ok)
+      Stats.Traps.fetch_add(1, std::memory_order_relaxed);
+  } else if (Resp.Reject == RejectKind::Shedding) {
+    Stats.RejectedShedding.fetch_add(1, std::memory_order_relaxed);
+  } else if (Resp.Reject == RejectKind::CompileError) {
+    Stats.RejectedCompileError.fetch_add(1, std::memory_order_relaxed);
+  }
+  Stats.QueueMicrosTotal.fetch_add(toMicros(Resp.QueueSeconds),
+                                   std::memory_order_relaxed);
+  Stats.RunMicrosTotal.fetch_add(toMicros(Resp.RunSeconds),
+                                 std::memory_order_relaxed);
+  P.Promise.set_value(std::move(Resp));
 }
 
 void Service::workerLoop(unsigned Index) {
@@ -245,28 +506,22 @@ void Service::workerLoop(unsigned Index) {
     Pending P;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
-      if (Queue.empty())
+      QueueCv.wait(Lock, [this] { return Stopping || TotalQueued != 0; });
+      if (TotalQueued == 0)
         return; // Stopping; stop() sheds anything left
-      P = std::move(Queue.front());
-      Queue.pop_front();
+      // Round-robin across tenants: take the head of the next tenant's
+      // FIFO, then rotate that tenant to the back if it has more work.
+      std::string Tenant = std::move(RoundRobin.front());
+      RoundRobin.pop_front();
+      std::deque<Pending> &Q = TenantQueues[Tenant];
+      P = std::move(Q.front());
+      Q.pop_front();
+      --TotalQueued;
+      if (!Q.empty())
+        RoundRobin.push_back(std::move(Tenant));
     }
     ServiceResponse Resp = execute(WS, P, Index);
-    {
-      std::lock_guard<std::mutex> Lock(StatsMutex);
-      if (Resp.Executed) {
-        ++Stats.Executed;
-        if (!Resp.Run.Ok)
-          ++Stats.Traps;
-      } else if (Resp.Reject == RejectKind::Shedding) {
-        ++Stats.RejectedShedding;
-      } else if (Resp.Reject == RejectKind::CompileError) {
-        ++Stats.RejectedCompileError;
-      }
-      Stats.QueueSecondsTotal += Resp.QueueSeconds;
-      Stats.RunSecondsTotal += Resp.RunSeconds;
-    }
-    P.Promise.set_value(std::move(Resp));
+    finishRequest(P, std::move(Resp));
   }
 }
 
@@ -274,21 +529,51 @@ ServiceResponse Service::execute(WorkerState &WS, Pending &P, unsigned Index) {
   const ServiceRequest &Req = P.Req;
   ServiceResponse Resp;
   Resp.Id = P.Id;
+  Resp.Tenant = Req.Tenant;
   Resp.Worker = Index;
+
+  // Chaos: stall the worker before it looks at the clock, widening the
+  // queue-delay window that shed-while-queued and breaker cooldowns
+  // need. Counted as queue time, which is what it is.
+  if (P.Plan.StallUs)
+    std::this_thread::sleep_for(std::chrono::microseconds(P.Plan.StallUs));
   Resp.QueueSeconds = secondsSince(P.Enqueued);
+
+  // Per-request limits: the tenant clamp was applied at submit; chaos
+  // squeezes compose on top with the same min-semantics.
+  RunLimits L = Req.Limits;
+  if (P.Plan.FuelLimit)
+    L.Fuel = L.Fuel ? std::min(L.Fuel, P.Plan.FuelLimit) : P.Plan.FuelLimit;
+  if (P.Plan.DeadlineMs)
+    L.DeadlineMs =
+        L.DeadlineMs ? std::min(L.DeadlineMs, P.Plan.DeadlineMs)
+                     : P.Plan.DeadlineMs;
 
   // Deadline already burned in the queue: shed without touching an
   // engine — the client stopped waiting, running would waste the worker.
   uint64_t QueueMs = static_cast<uint64_t>(Resp.QueueSeconds * 1e3);
-  if (Req.Limits.DeadlineMs && QueueMs >= Req.Limits.DeadlineMs) {
+  if (L.DeadlineMs && QueueMs >= L.DeadlineMs) {
     Resp.Reject = RejectKind::Shedding;
     Resp.Error = "deadline expired while queued";
     return Resp;
   }
 
   auto R0 = std::chrono::steady_clock::now();
+  bool Pinned = false;
   std::shared_ptr<const CompiledArtifact> Art =
-      artifactFor(Req, Resp.CacheHit);
+      artifactFor(P.Key, Req, Resp.CacheHit, Pinned, P.Plan.FailCompile);
+  // Keep the cache entry pinned (ineligible for eviction) until this
+  // request is done with the artifact.
+  struct UnpinGuard {
+    Service *S;
+    const std::string *Key;
+    bool Active;
+    ~UnpinGuard() {
+      if (Active)
+        S->unpinArtifact(*Key);
+    }
+  } Guard{this, &P.Key, Pinned};
+
   if (!Art->Ok) {
     Resp.Reject = RejectKind::CompileError;
     Resp.Error = Art->Error;
@@ -337,15 +622,15 @@ ServiceResponse Service::execute(WorkerState &WS, Pending &P, unsigned Index) {
   // Per-request installs: limits (deadline reduced by the queue wait),
   // fault injection, telemetry. All are uninstalled afterwards so the
   // pooled heap carries nothing from one request into the next.
-  RunLimits L = Req.Limits;
   if (L.DeadlineMs)
     L.DeadlineMs -= QueueMs;
   H.setLimits(L.Heap);
   WS.Eng->setStepLimit(L.Fuel);
   WS.Eng->setCallDepthLimit(L.MaxCallDepth);
   WS.Eng->setDeadline(L.DeadlineMs);
-  FaultInjector FI = FaultInjector::failNth(Req.FailAlloc);
-  if (Req.FailAlloc)
+  uint64_t FailAlloc = Req.FailAlloc ? Req.FailAlloc : P.Plan.FailAllocNth;
+  FaultInjector FI = FaultInjector::failNth(FailAlloc);
+  if (FailAlloc)
     H.setFaultInjector(&FI);
   CountingSink Sink;
   H.setStatsSink(&Sink);
@@ -373,8 +658,7 @@ ServiceResponse Service::execute(WorkerState &WS, Pending &P, unsigned Index) {
   // high-water for the life of the worker.
   if (H.empty() && H.retainedBytes() > Config.MaxRetainedBytes) {
     size_t Trimmed = H.trimRetained();
-    std::lock_guard<std::mutex> Lock(StatsMutex);
-    Stats.TrimmedBytes += Trimmed;
+    Stats.TrimmedBytes.fetch_add(Trimmed, std::memory_order_relaxed);
   }
   Resp.RetainedBytes = H.retainedBytes();
   Resp.RunSeconds = secondsSince(R0);
@@ -382,6 +666,31 @@ ServiceResponse Service::execute(WorkerState &WS, Pending &P, unsigned Index) {
 }
 
 ServiceStats Service::stats() const {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  return Stats;
+  ServiceStats S;
+  S.Submitted = Stats.Submitted.load(std::memory_order_relaxed);
+  S.Executed = Stats.Executed.load(std::memory_order_relaxed);
+  S.RejectedQueueFull = Stats.RejectedQueueFull.load(std::memory_order_relaxed);
+  S.RejectedShedding = Stats.RejectedShedding.load(std::memory_order_relaxed);
+  S.RejectedCompileError =
+      Stats.RejectedCompileError.load(std::memory_order_relaxed);
+  S.RejectedRateLimited =
+      Stats.RejectedRateLimited.load(std::memory_order_relaxed);
+  S.RejectedTenantQuota =
+      Stats.RejectedTenantQuota.load(std::memory_order_relaxed);
+  S.RejectedCircuitOpen =
+      Stats.RejectedCircuitOpen.load(std::memory_order_relaxed);
+  S.RejectedBadRequest =
+      Stats.RejectedBadRequest.load(std::memory_order_relaxed);
+  S.Traps = Stats.Traps.load(std::memory_order_relaxed);
+  S.CacheHits = Stats.CacheHits.load(std::memory_order_relaxed);
+  S.CacheCompiles = Stats.CacheCompiles.load(std::memory_order_relaxed);
+  S.CacheEvictions = Stats.CacheEvictions.load(std::memory_order_relaxed);
+  S.CacheBytes = Stats.CacheBytes.load(std::memory_order_relaxed);
+  S.ChaosInjected = Stats.ChaosInjected.load(std::memory_order_relaxed);
+  S.TrimmedBytes = Stats.TrimmedBytes.load(std::memory_order_relaxed);
+  S.QueueSecondsTotal =
+      Stats.QueueMicrosTotal.load(std::memory_order_relaxed) / 1e6;
+  S.RunSecondsTotal =
+      Stats.RunMicrosTotal.load(std::memory_order_relaxed) / 1e6;
+  return S;
 }

@@ -12,27 +12,43 @@
 ///
 ///   * a *program* is compiled once per (source, PassConfig, EngineKind)
 ///     key into an immutable CompiledArtifact (IR + layout for the CEK
-///     machine, plus bytecode for the VM) and cached forever;
+///     machine, plus bytecode for the VM) and cached under an LRU byte
+///     budget (ServiceConfig::MaxCacheBytes; 0 = unbounded). Artifacts
+///     pinned by running requests are never evicted; negative entries
+///     (cached compile failures) are evicted cheapest-first. Eviction is
+///     silent — a re-requested evicted key just recompiles, it is never
+///     a rejection kind;
 ///   * a *worker* owns a persistent Heap (one per HeapMode, created
 ///     lazily) and an engine instance rebuilt only when the artifact or
 ///     heap mode changes — requests reuse warm slabs and free lists;
-///   * a *request* carries its own RunLimits (including the wall-clock
-///     DeadlineMs), optional fault injection, and per-request telemetry,
-///     and leaves the worker heap empty again whether it completed or
-///     trapped — the garbage-free guarantee is what makes pooling safe.
+///   * a *request* belongs to a *tenant* and carries its own RunLimits
+///     (including the wall-clock DeadlineMs), optional fault injection,
+///     and per-request telemetry, and leaves the worker heap empty again
+///     whether it completed or trapped — the garbage-free guarantee is
+///     what makes pooling safe.
 ///
-/// Admission control is a bounded queue: submit() rejects with QueueFull
-/// when the queue is at capacity, and a queued request whose deadline
-/// already expired while waiting is shed (RejectKind::Shedding) without
-/// ever touching an engine. Rejections are structured responses, never
-/// aborts. Between requests the worker trims retained slab memory back
-/// to one warm slab whenever it exceeds ServiceConfig::MaxRetainedBytes,
-/// so one peaky request cannot pin peak RSS for the life of the process.
+/// Admission control is layered (see Reject.h for the closed vocabulary):
+/// a bounded *global* queue rejects QueueFull at capacity; the
+/// TenantGovernor rejects RateLimited / TenantQuota per tenant policy and
+/// sheds over-fair-share tenants under pressure; the per-source
+/// CircuitBreaker rejects CircuitOpen during a trap-storm cooldown.
+/// Every rejection is a structured response with a RetryAfterMs hint,
+/// never an abort. Queued requests dequeue round-robin *across tenants*,
+/// so a tenant that fills its queue share cannot starve the others even
+/// before the governor sheds it. Between requests the worker trims
+/// retained slab memory back to one warm slab whenever it exceeds
+/// ServiceConfig::MaxRetainedBytes.
+///
+/// ChaosConfig (off by default) threads seeded fault injection through
+/// every boundary — transient compile faults, mid-run OOM, fuel/deadline
+/// squeezes, worker stalls — without changing any invariant: a chaotic
+/// request still unwinds cleanly to an empty heap.
 ///
 /// Thread-safety note: workers share each artifact's Program read-only.
 /// SymbolTable::intern() mutates, so entry-point lookup never interns on
 /// the request path — the artifact carries a name → FuncId index built
-/// once at compile time, single-threaded.
+/// once at compile time, single-threaded. ServiceStats counters are
+/// atomics; stats() returns a snapshot without stopping the world.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,10 +60,15 @@
 #include "eval/EngineConfig.h"
 #include "eval/Layout.h"
 #include "perceus/Pipeline.h"
+#include "service/Chaos.h"
+#include "service/Reject.h"
+#include "service/TenantGovernor.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -60,8 +81,9 @@ namespace perceus {
 
 /// One immutable compiled program, shared read-only by every worker that
 /// executes requests against its key. When compilation fails, Ok is
-/// false and Error carries the diagnostics — the failure is cached too,
-/// so a bad source is diagnosed once, not once per request.
+/// false and Error carries the diagnostics — the failure is cached too
+/// (a negative entry), so a bad source is diagnosed once, not once per
+/// request.
 struct CompiledArtifact {
   bool Ok = false;
   std::string Error;
@@ -73,12 +95,18 @@ struct CompiledArtifact {
   /// Every top-level function by surface name, resolved at compile time
   /// so the request path never touches the (mutating) symbol table.
   std::unordered_map<std::string, FuncId> Functions;
+  /// Estimated resident footprint: source + IR arena + layout tables +
+  /// bytecode. Computed once at compile time; the cache's eviction
+  /// accounting sums these against ServiceConfig::MaxCacheBytes.
+  size_t SizeBytes = 0;
 };
 
-/// One unit of work: which program (by source + configuration), which
-/// entry point, and how the run is bounded. Args are immediates (ints,
-/// unit) — heap values cannot cross the submission boundary.
+/// One unit of work: which tenant, which program (by source +
+/// configuration), which entry point, and how the run is bounded. Args
+/// are immediates (ints, unit) — heap values cannot cross the submission
+/// boundary.
 struct ServiceRequest {
+  std::string Tenant = "default"; ///< policy + accounting identity
   std::string Source;
   PassConfig Config = PassConfig::perceusFull();
   EngineKind Engine = EngineKind::Cek;
@@ -88,23 +116,13 @@ struct ServiceRequest {
   uint64_t FailAlloc = 0; ///< failNth fault injection (0 = off)
 };
 
-/// Why a request was refused without executing. Rejections are structured
-/// outcomes — the service never aborts on overload.
-enum class RejectKind : uint8_t {
-  None,         ///< not rejected (see Executed / Run)
-  QueueFull,    ///< bounded queue at capacity at submit time
-  Shedding,     ///< shed: stopping, or deadline expired while queued
-  CompileError, ///< the (cached) compilation of the key failed
-};
-
-/// Short stable name ("ok", "queue-full", ...) for logs and JSON.
-const char *rejectKindName(RejectKind K);
-
 /// Everything the service reports about one request.
 struct ServiceResponse {
   uint64_t Id = 0;        ///< submission order, 1-based
+  std::string Tenant;     ///< echoed from the request
   bool Executed = false;  ///< an engine ran (Run is meaningful)
   RejectKind Reject = RejectKind::None;
+  uint64_t RetryAfterMs = 0; ///< backoff hint on rejections (0 = none)
   std::string Error;      ///< rejection / lookup diagnostics
   RunResult Run;          ///< engine result when Executed
   HeapStats Heap;         ///< this request's stats delta on its worker heap
@@ -117,7 +135,9 @@ struct ServiceResponse {
   uint64_t RcCalls = 0;   ///< telemetry: RC calls the sink observed
 };
 
-/// Service-wide tuning.
+/// Service-wide tuning. The admission-policy fields all default to
+/// "off", so a default-constructed service behaves exactly like the
+/// single-tenant one it replaces.
 struct ServiceConfig {
   unsigned Workers = 1;        ///< worker threads (min 1)
   size_t QueueCapacity = 64;   ///< bounded queue; 0 means 1
@@ -125,18 +145,39 @@ struct ServiceConfig {
   /// than this between requests (0 = trim after every request).
   size_t MaxRetainedBytes = 8u << 20;
   size_t GcThresholdBytes = 4u << 20; ///< per-worker GC threshold
+  /// Artifact-cache byte budget; LRU eviction keeps the cache at or
+  /// under this (pinned entries excepted). 0 = unbounded (cache forever).
+  size_t MaxCacheBytes = 0;
+  /// Policy for tenants without an explicit setTenantPolicy() entry.
+  /// Default is unlimited: existing single-tenant callers are unchanged.
+  TenantPolicy DefaultTenantPolicy;
+  /// Per-source circuit breaker: this many *consecutive* trapped runs of
+  /// one source key open its breaker for BreakerCooldownMs. 0 = off.
+  unsigned BreakerTrapThreshold = 0;
+  uint64_t BreakerCooldownMs = 250;
+  /// Seeded fault injection at every service boundary; Seed 0 = off.
+  ChaosConfig Chaos;
 };
 
-/// Aggregate counters across the service lifetime.
+/// Aggregate counters across the service lifetime. A point-in-time
+/// snapshot assembled from atomics — individual counters are exact,
+/// cross-counter sums may be mid-update by one request.
 struct ServiceStats {
   uint64_t Submitted = 0;
   uint64_t Executed = 0;
   uint64_t RejectedQueueFull = 0;
   uint64_t RejectedShedding = 0;
   uint64_t RejectedCompileError = 0;
+  uint64_t RejectedRateLimited = 0;
+  uint64_t RejectedTenantQuota = 0;
+  uint64_t RejectedCircuitOpen = 0;
+  uint64_t RejectedBadRequest = 0;
   uint64_t Traps = 0;       ///< executed requests that trapped
   uint64_t CacheHits = 0;   ///< artifact lookups served from cache
   uint64_t CacheCompiles = 0; ///< distinct keys actually compiled
+  uint64_t CacheEvictions = 0; ///< artifacts evicted under MaxCacheBytes
+  size_t CacheBytes = 0;    ///< gauge: bytes currently cached
+  uint64_t ChaosInjected = 0; ///< requests that received a chaos plan
   uint64_t TrimmedBytes = 0;  ///< slab bytes returned to the OS
   double QueueSecondsTotal = 0;
   double RunSecondsTotal = 0;
@@ -151,8 +192,8 @@ public:
   Service &operator=(const Service &) = delete;
 
   /// Enqueues a request. The future resolves when a worker finishes it
-  /// (or immediately, with a structured rejection, when the queue is
-  /// full or the service is stopping).
+  /// (or immediately, with a structured rejection, when admission
+  /// refuses it or the service is stopping).
   std::future<ServiceResponse> submit(ServiceRequest R);
 
   /// submit() + get(): the blocking convenience for tests and the CLI.
@@ -163,6 +204,15 @@ public:
   /// fills \p Error when the source does not compile.
   bool precompile(const std::string &Source, const PassConfig &Config,
                   EngineKind Engine, std::string *Error = nullptr);
+
+  /// Installs (or replaces) \p Tenant's admission policy.
+  void setTenantPolicy(const std::string &Tenant, const TenantPolicy &P);
+
+  /// Per-tenant lifetime counters (zeroes for an unknown tenant).
+  TenantCounters tenantStats(const std::string &Tenant) const;
+
+  /// Every tenant the governor has seen.
+  std::vector<std::string> tenants() const;
 
   /// Stops accepting work, sheds the queue, and joins the workers.
   /// Idempotent; the destructor calls it.
@@ -176,6 +226,8 @@ private:
     ServiceRequest Req;
     std::promise<ServiceResponse> Promise;
     uint64_t Id = 0;
+    std::string Key; ///< cache key, computed once at submit
+    ChaosPlan Plan;  ///< per-request chaos, derived from (seed, id)
     std::chrono::steady_clock::time_point Enqueued;
   };
 
@@ -189,40 +241,98 @@ private:
     Heap *EngHeap = nullptr; ///< heap Eng is bound to
   };
 
+  /// One artifact-cache slot. The future decouples compile-wait from the
+  /// cache lock; the bookkeeping fields drive LRU eviction: Bytes counts
+  /// against MaxCacheBytes once Ready, Pins blocks eviction while any
+  /// request is executing against the entry, Negative marks cached
+  /// compile failures (evicted first — recompiling one is cheap and
+  /// re-diagnosing is correct).
+  struct CacheEntry {
+    std::shared_future<std::shared_ptr<const CompiledArtifact>> Fut;
+    size_t Bytes = 0;
+    bool Ready = false;
+    bool Negative = false;
+    uint64_t Pins = 0;
+    std::list<std::string>::iterator LruIt; ///< valid iff InLru
+    bool InLru = false;
+  };
+
+  /// Lifetime counters as relaxed atomics so worker threads accumulate
+  /// without a stats lock; time totals are microsecond integers (atomic
+  /// double add is not portable). stats() converts back to seconds.
+  struct AtomicStats {
+    std::atomic<uint64_t> Submitted{0};
+    std::atomic<uint64_t> Executed{0};
+    std::atomic<uint64_t> RejectedQueueFull{0};
+    std::atomic<uint64_t> RejectedShedding{0};
+    std::atomic<uint64_t> RejectedCompileError{0};
+    std::atomic<uint64_t> RejectedRateLimited{0};
+    std::atomic<uint64_t> RejectedTenantQuota{0};
+    std::atomic<uint64_t> RejectedCircuitOpen{0};
+    std::atomic<uint64_t> RejectedBadRequest{0};
+    std::atomic<uint64_t> Traps{0};
+    std::atomic<uint64_t> CacheHits{0};
+    std::atomic<uint64_t> CacheCompiles{0};
+    std::atomic<uint64_t> CacheEvictions{0};
+    std::atomic<size_t> CacheBytes{0};
+    std::atomic<uint64_t> ChaosInjected{0};
+    std::atomic<uint64_t> TrimmedBytes{0};
+    std::atomic<uint64_t> QueueMicrosTotal{0};
+    std::atomic<uint64_t> RunMicrosTotal{0};
+  };
+
   void workerLoop(unsigned Index);
   ServiceResponse execute(WorkerState &WS, Pending &P, unsigned Index);
+  /// Looks up or compiles \p Key. Pins the entry (caller must
+  /// unpinArtifact). \p TransientFail injects a compile fault on a cache
+  /// miss: the failed artifact is returned but never cached.
   std::shared_ptr<const CompiledArtifact>
-  artifactFor(const ServiceRequest &R, bool &CacheHit);
+  artifactFor(const std::string &Key, const ServiceRequest &R, bool &CacheHit,
+              bool &Pinned, bool TransientFail);
+  void unpinArtifact(const std::string &Key);
+  /// Records a finished compile in the cache ledger and evicts LRU
+  /// entries down to MaxCacheBytes. Called with CacheMutex held.
+  void settleCacheEntryLocked(const std::string &Key,
+                              const CompiledArtifact &Art);
+  void evictToBudgetLocked();
+  void finishRequest(Pending &P, ServiceResponse Resp);
 
   ServiceConfig Config;
 
   mutable std::mutex QueueMutex;
   std::condition_variable QueueCv;
-  std::deque<Pending> Queue;
+  /// Fair queueing: one FIFO per tenant, dequeued round-robin across the
+  /// tenants that have work. Capacity bounds the *total*.
+  std::unordered_map<std::string, std::deque<Pending>> TenantQueues;
+  std::deque<std::string> RoundRobin; ///< tenants with nonempty queues
+  size_t TotalQueued = 0;
   bool Stopping = false;
   uint64_t NextId = 1;
 
-  std::mutex CacheMutex;
-  std::unordered_map<std::string,
-                     std::shared_future<std::shared_ptr<const CompiledArtifact>>>
-      Cache;
+  mutable std::mutex CacheMutex;
+  std::unordered_map<std::string, CacheEntry> Cache;
+  std::list<std::string> Lru; ///< front = most recently used
+  size_t CacheBytes = 0;      ///< ready, counted entries only
 
-  mutable std::mutex StatsMutex;
-  ServiceStats Stats;
+  TenantGovernor Governor;
+  CircuitBreaker Breaker;
+
+  mutable AtomicStats Stats;
 
   std::vector<std::thread> Workers;
 };
 
-/// A client handle that pins one (source, PassConfig, EngineKind) key on
-/// a Service, so callers submit by entry point alone — the "session" of
-/// the session engine. Cheap; many sessions can share one Service, and
-/// sessions over the same key share the cached artifact.
+/// A client handle that pins one (tenant, source, PassConfig, EngineKind)
+/// key on a Service, so callers submit by entry point alone — the
+/// "session" of the session engine. Cheap; many sessions can share one
+/// Service, and sessions over the same key share the cached artifact.
 class Session {
 public:
   Session(Service &S, std::string Source,
           PassConfig Config = PassConfig::perceusFull(),
-          EngineKind Engine = EngineKind::Cek)
-      : Svc(S), Source(std::move(Source)), Config(Config), Engine(Engine) {}
+          EngineKind Engine = EngineKind::Cek, std::string Tenant = "default")
+      : Svc(S), Source(std::move(Source)), Config(Config), Engine(Engine),
+        Tenant(std::move(Tenant)) {}
 
   /// Compiles the session's program now (off the request path). Returns
   /// false and fills \p Error when the source does not compile.
@@ -250,6 +360,7 @@ private:
   ServiceRequest makeRequest(std::string Entry, std::vector<Value> Args,
                              const RunLimits &Limits, uint64_t FailAlloc) {
     ServiceRequest R;
+    R.Tenant = Tenant;
     R.Source = Source;
     R.Config = Config;
     R.Engine = Engine;
@@ -264,6 +375,7 @@ private:
   std::string Source;
   PassConfig Config;
   EngineKind Engine;
+  std::string Tenant;
 };
 
 } // namespace perceus

@@ -8,9 +8,15 @@
 /// Serializes ServiceResponse into the perceus-stats-v1 schema: the same
 /// heap/run objects `perc --stats-json` writes, plus a "service" object
 /// carrying the request's admission and latency telemetry (status,
-/// cache hit, worker, queue/run milliseconds, retained bytes). One
-/// document per request — `perc --serve` prints one per line, and the
-/// validation tests pin the key set.
+/// tenant, retry hint, cache hit, worker, queue/run milliseconds,
+/// retained bytes). One document per request — `perc --serve` prints one
+/// per line, and the validation tests pin the key set.
+///
+/// The inverse direction, parseServiceRequestJson(), accepts one request
+/// as a flat JSON object and validates it *structurally*: unknown keys,
+/// wrong value types, truncated documents and oversized lines are all
+/// rejected with a diagnostic, never ignored and never fatal — a
+/// malformed line becomes a "bad-request" response, not an abort.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,21 +24,43 @@
 #define PERCEUS_SERVICE_SERVICEJSON_H
 
 #include <string>
+#include <string_view>
 
 namespace perceus {
 
 class JsonWriter;
+struct ServiceRequest;
 struct ServiceResponse;
 
-/// {"id":..,"status":"ok"|"queue-full"|...,"executed":..,"cache_hit":..,
-///  "worker":..,"queue_ms":..,"run_ms":..,"retained_bytes":..,
-///  "heap_empty":..,"rc_calls":..,"error":".."}
+/// {"id":..,"tenant":"..","status":"ok"|"queue-full"|...,"executed":..,
+///  "cache_hit":..,"worker":..,"queue_ms":..,"run_ms":..,
+///  "retry_after_ms":..,"retained_bytes":..,"heap_empty":..,
+///  "rc_calls":..,"error":".."}
 void writeServiceObjectJson(JsonWriter &W, const ServiceResponse &R);
 
 /// One complete perceus-stats-v1 document for a response: schema marker,
 /// the service object, and the heap/run objects (zeroed for requests
 /// that were rejected before execution, so every line has one shape).
 std::string serviceResponseJson(const ServiceResponse &R);
+
+/// Hard ceiling on one JSON request line; longer inputs are rejected
+/// structurally (a client bug must not balloon server memory).
+inline constexpr size_t MaxRequestJsonBytes = 64 * 1024;
+
+/// Parses one JSON request object into \p R (on top of whatever defaults
+/// \p R already carries). Accepted keys:
+///
+///   "entry": string (required)   "args": array of integers
+///   "tenant": string             "engine": "cek" | "vm"
+///   "config": pass-config name   "fuel", "deadline_ms", "max_depth",
+///   "fail_alloc", "max_heap", "max_cells", "alloc_budget": non-negative
+///   integers
+///
+/// Returns true on success; on failure returns false and fills \p Error
+/// with a one-line diagnostic (unknown key, wrong type, truncated input,
+/// oversized line, trailing garbage). Never throws, never aborts.
+bool parseServiceRequestJson(std::string_view Text, ServiceRequest &R,
+                             std::string &Error);
 
 } // namespace perceus
 

@@ -16,7 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #ifdef _WIN32
 #error "this test drives the CLI through POSIX wait status macros"
@@ -77,6 +80,79 @@ TEST(PercCli, BadFlagValuesAreRejected) {
   EXPECT_EQ(runPerc(prog("nqueens.perc") + " --engine=jit 6"), 1);
   EXPECT_EQ(runPerc(prog("nqueens.perc") + " --config=bogus 6"), 1);
   EXPECT_NE(runPerc("/no/such/file.perc"), 0);
+}
+
+/// Runs `perc <ArgsLine>` with \p StdinText on stdin; returns stdout
+/// lines and stores the exit code in \p ExitCode.
+std::vector<std::string> runPercServe(const std::string &ArgsLine,
+                                      const std::string &StdinText,
+                                      int &ExitCode) {
+  std::string InPath = testing::TempDir() + "/perc_serve_in.txt";
+  std::string OutPath = testing::TempDir() + "/perc_serve_out.txt";
+  std::ofstream(InPath) << StdinText;
+  std::string Cmd = std::string(PERCEUS_PERC_PATH) + " " + ArgsLine + " < " +
+                    InPath + " > " + OutPath + " 2>/dev/null";
+  int Status = std::system(Cmd.c_str());
+  ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  std::vector<std::string> Lines;
+  std::ifstream Out(OutPath);
+  for (std::string Line; std::getline(Out, Line);)
+    Lines.push_back(Line);
+  return Lines;
+}
+
+TEST(PercCli, ServeModeMalformedLinesGetStructuredBadRequestJson) {
+  // One response line per request line: a valid positional request, a
+  // JSON request with an unknown key, a bogus option, and a valid JSON
+  // request. Malformed lines must come back as structured "bad-request"
+  // responses naming the offending line — never a crash, never a silent
+  // skip, and never a nonzero exit for the whole serve. (Bad lines are
+  // answered immediately while valid ones are in flight, so assertions
+  // scan the output rather than assuming submission order.)
+  int Exit = -1;
+  std::vector<std::string> Lines =
+      runPercServe(prog("hello.perc") + " --serve",
+                   "main 5\n"
+                   "{\"entry\":\"main\",\"bogus\":1}\n"
+                   "--frobnicate=3 5\n"
+                   "{\"entry\":\"main\",\"args\":[5]}\n",
+                   Exit);
+  EXPECT_EQ(Exit, 0);
+  ASSERT_EQ(Lines.size(), 4u);
+  unsigned Ok = 0, Bad = 0;
+  bool SawUnknownKey = false, SawUnknownOption = false;
+  for (const std::string &L : Lines) {
+    if (L.find("\"status\":\"ok\"") != std::string::npos)
+      ++Ok;
+    if (L.find("\"status\":\"bad-request\"") != std::string::npos)
+      ++Bad;
+    if (L.find("line 2") != std::string::npos &&
+        L.find("unknown key") != std::string::npos)
+      SawUnknownKey = true;
+    if (L.find("line 3") != std::string::npos &&
+        L.find("unknown request option") != std::string::npos)
+      SawUnknownOption = true;
+  }
+  EXPECT_EQ(Ok, 2u);
+  EXPECT_EQ(Bad, 2u);
+  EXPECT_TRUE(SawUnknownKey);
+  EXPECT_TRUE(SawUnknownOption);
+}
+
+TEST(PercCli, ServeModeThreadsTenantThroughResponses) {
+  int Exit = -1;
+  std::vector<std::string> Lines =
+      runPercServe(prog("hello.perc") + " --serve --tenant=acme",
+                   "main 5\n"
+                   "{\"entry\":\"main\",\"args\":[5],\"tenant\":\"other\"}\n",
+                   Exit);
+  EXPECT_EQ(Exit, 0);
+  ASSERT_EQ(Lines.size(), 2u);
+  // The default tenant comes from the flag; a per-line tenant overrides.
+  EXPECT_NE(Lines[0].find("\"tenant\":\"acme\""), std::string::npos)
+      << Lines[0];
+  EXPECT_NE(Lines[1].find("\"tenant\":\"other\""), std::string::npos)
+      << Lines[1];
 }
 
 } // namespace

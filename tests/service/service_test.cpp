@@ -145,8 +145,16 @@ TEST(Service, DeadlineTrapsCleanlyOnBothEngines) {
     Session Sess(S, nqueensSource(), PassConfig::perceusFull(), Engine);
     RunLimits L;
     L.DeadlineMs = 5;
-    ServiceResponse R =
-        Sess.call("bench_nqueens", {Value::makeInt(10)}, L);
+    // On a loaded box the budget can burn in the queue before a worker
+    // picks the request up; that shed is the documented outcome, so
+    // retry until the run actually starts.
+    ServiceResponse R;
+    for (int Attempt = 0; Attempt != 50; ++Attempt) {
+      R = Sess.call("bench_nqueens", {Value::makeInt(10)}, L);
+      if (R.Executed)
+        break;
+      ASSERT_EQ(R.Reject, RejectKind::Shedding);
+    }
     ASSERT_TRUE(R.Executed);
     EXPECT_FALSE(R.Run.Ok);
     EXPECT_EQ(R.Run.Trap, TrapKind::Deadline) << engineKindName(Engine);

@@ -305,4 +305,63 @@ TEST(StatsJson, ServiceRowObjectIsValidated) {
   EXPECT_NE(bench::validateBenchJson(BadType), "");
 }
 
+TEST(StatsJson, ServiceStatusVocabularyIsClosedAndComplete) {
+  // Every rejection kind the service can emit is a valid status; the
+  // vocabulary is closed, so a typo'd or invented status is an error.
+  bench::BenchProgram MapSum{"mapsum", mapSumSource(), "bench_mapsum", 50,
+                             nullptr};
+  bench::Measurement M = bench::measure(MapSum, PassConfig::perceusFull());
+  ASSERT_TRUE(M.Ran);
+  M.Svc.Present = true;
+  for (const char *Status :
+       {"ok", "queue-full", "shedding", "compile-error", "rate-limited",
+        "tenant-quota", "circuit-open", "bad-request"}) {
+    M.Svc.Status = Status;
+    bench::BenchReport Report("unittest", 1.0);
+    Report.add("mapsum", "service-cek", M);
+    EXPECT_EQ(bench::validateBenchJson(Report.json()), "") << Status;
+  }
+  for (const char *Status : {"cache-evicted", "rejected", "throttled"}) {
+    M.Svc.Status = Status;
+    bench::BenchReport Report("unittest", 1.0);
+    Report.add("mapsum", "service-cek", M);
+    EXPECT_NE(bench::validateBenchJson(Report.json()), "") << Status;
+  }
+}
+
+TEST(StatsJson, OverloadRowObjectIsValidated) {
+  bench::BenchProgram MapSum{"mapsum", mapSumSource(), "bench_mapsum", 50,
+                             nullptr};
+  bench::Measurement M = bench::measure(MapSum, PassConfig::perceusFull());
+  ASSERT_TRUE(M.Ran);
+  M.Ov.Present = true;
+  M.Ov.Tenant = "polite-1";
+  M.Ov.Requests = 100;
+  M.Ov.Executed = 99;
+  M.Ov.ShedRate = 0.01;
+  M.Ov.P50Ms = 1.5;
+  M.Ov.P99Ms = 4.0;
+  M.Ov.MeanMs = 1.8;
+  M.Ov.RetainedPeakBytes = 262144;
+  bench::BenchReport Report("overload", 1.0);
+  Report.add("polite-1", "abuse", M);
+  std::string Doc = Report.json();
+  EXPECT_EQ(bench::validateBenchJson(Doc), "");
+  ASSERT_NE(Doc.find("\"overload\""), std::string::npos);
+
+  // Every overload key is required: dropping one is a schema error.
+  std::string Missing = Doc;
+  size_t Pos = Missing.find("\"shed_rate\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Missing.replace(Pos, std::strlen("\"shed_rate\""), "\"shed_rte\"");
+  EXPECT_NE(bench::validateBenchJson(Missing), "");
+
+  // Wrong type: rejected.
+  std::string BadType = Doc;
+  Pos = BadType.find("\"abusive\":false");
+  ASSERT_NE(Pos, std::string::npos);
+  BadType.replace(Pos, std::strlen("\"abusive\":false"), "\"abusive\":0");
+  EXPECT_NE(bench::validateBenchJson(BadType), "");
+}
+
 } // namespace
