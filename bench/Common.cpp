@@ -302,8 +302,8 @@ std::string perceus::bench::validateBenchJson(std::string_view Text) {
   static const char *HeapKeys[] = {
       "allocs",          "frees",         "dup_ops",
       "drop_ops",        "decref_ops",    "non_heap_rc_ops",
-      "atomic_rc_ops",   "is_unique_tests", "live_bytes",
-      "peak_bytes",      "live_cells"};
+      "atomic_rc_ops",   "coalesced_rc_ops", "is_unique_tests",
+      "live_bytes",      "peak_bytes",    "live_cells"};
   static const char *RunKeys[] = {"steps",      "reuse_hits",
                                   "reuse_misses", "tail_calls",
                                   "max_stack_depth", "max_call_depth",

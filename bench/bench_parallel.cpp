@@ -44,8 +44,28 @@ struct ParallelWorkload {
   int64_t BuilderArg;      ///< builder argument (unscaled: tree shape)
 };
 
+/// True when two workers' heap statistics differ on any counter that the
+/// workload determines. Every worker runs identical code on an identical
+/// input, so the RC-operation classification and allocation counts must
+/// match exactly, worker to worker and worker-count to worker-count.
+/// Race-dependent counters are excluded: which worker frees a parked
+/// shared cell, and how shared-count updates batch into atomic RMWs
+/// (AtomicRcOps/CoalescedRcOps), legitimately vary with scheduling.
+bool statsDiverge(const HeapStats &A, const HeapStats &B) {
+  return A.Allocs != B.Allocs || A.DupOps != B.DupOps ||
+         A.DropOps != B.DropOps || A.DecRefOps != B.DecRefOps ||
+         A.IsUniqueTests != B.IsUniqueTests ||
+         A.NonHeapRcOps != B.NonHeapRcOps;
+}
+
+/// Runs one workload cell. With \p CaptureBaseline set (the workers=1
+/// run), records the single worker's stats as the workload's baseline;
+/// with \p Baseline set (every other run), refuses — returns a
+/// not-ran Measurement — if any worker's stats diverge from it: a
+/// speedup over differently-counted work would be meaningless.
 Measurement runOnce(ParallelRunner &PR, const ParallelWorkload &W,
-                    unsigned Workers, EngineKind Engine) {
+                    unsigned Workers, EngineKind Engine,
+                    const HeapStats *Baseline, HeapStats *CaptureBaseline) {
   EngineConfig EC;
   EC.Engine = Engine;
   EC.Workers = Workers;
@@ -67,6 +87,17 @@ Measurement runOnce(ParallelRunner &PR, const ParallelWorkload &W,
                    W.Name);
       return M;
     }
+  if (Baseline)
+    for (size_t I = 0; I != Out.Workers.size(); ++I)
+      if (statsDiverge(Out.Workers[I].Heap, *Baseline)) {
+        std::fprintf(stderr,
+                     "%s: workers=%u worker %zu stats diverge from the "
+                     "1-worker run — refusing to report a speedup\n",
+                     W.Name, Workers, I);
+        return M;
+      }
+  if (CaptureBaseline)
+    *CaptureBaseline = Out.Workers[0].Heap;
   M.Ran = true;
   M.Seconds = Out.Seconds;
   M.Checksum = Out.Workers[0].Run.Result.Int;
@@ -117,8 +148,12 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     ColNames.push_back(W.Name);
+    HeapStats Baseline;
     for (size_t R = 0; R != std::size(WorkerCounts); ++R) {
-      Measurement M = runOnce(PR, W, WorkerCounts[R], Engine);
+      bool First = R == 0;
+      Measurement M =
+          runOnce(PR, W, WorkerCounts[R], Engine,
+                  First ? nullptr : &Baseline, First ? &Baseline : nullptr);
       if (!M.Ran)
         return 1;
       Report.add(W.Name, RowNames[R], M);
@@ -146,6 +181,14 @@ int main(int Argc, char **Argv) {
     std::printf("\n");
   }
 
+  // The report must satisfy the same schema CI validates for every
+  // other harness; checking in-process keeps the failure local.
+  std::string SchemaErr = validateBenchJson(Report.json());
+  if (!SchemaErr.empty()) {
+    std::fprintf(stderr, "BENCH_parallel.json schema violation: %s\n",
+                 SchemaErr.c_str());
+    return 1;
+  }
   if (!JsonPath.empty() && !Report.write(JsonPath))
     return 1;
   return 0;

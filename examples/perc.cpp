@@ -571,14 +571,15 @@ int main(int Argc, char **Argv) {
       const HeapStats &S = Out.Combined;
       std::fprintf(stderr,
                    "[%s x%zu] wall=%.3fs allocs=%llu frees=%llu "
-                   "dup=%llu drop=%llu atomic-rc=%llu peak=%zuB "
-                   "leaked-cells=%llu\n",
+                   "dup=%llu drop=%llu atomic-rc=%llu coalesced-rc=%llu "
+                   "peak=%zuB leaked-cells=%llu\n",
                    Config.name(), Out.Workers.size(), Out.Seconds,
                    (unsigned long long)S.Allocs,
                    (unsigned long long)S.Frees,
                    (unsigned long long)S.DupOps,
                    (unsigned long long)S.DropOps,
-                   (unsigned long long)S.AtomicRcOps, S.PeakBytes,
+                   (unsigned long long)S.AtomicRcOps,
+                   (unsigned long long)S.CoalescedRcOps, S.PeakBytes,
                    (unsigned long long)(S.LiveCells + Out.Shared.LiveCells));
       if (!SharedInput.empty())
         std::fprintf(stderr,

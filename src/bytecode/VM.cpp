@@ -158,6 +158,10 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
   uint64_t Steps = 0;
   const uint64_t Fuel = StepLimit;
   const bool HasDeadline = DeadlineMs != 0;
+  // Safepoints fire on the deadline cadence when armed: a deadline is
+  // set, or the heap coalesces shared counts and must flush buffered
+  // deltas periodically so other workers observe bounded-stale counts.
+  const bool HasSafepoint = HasDeadline || H.sharedCoalescingEnabled();
   Instr I{};
 
 #define VM_TRAP(Msg, Kind)                                                     \
@@ -171,9 +175,13 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
     ++Steps;                                                                   \
     if (Fuel && Steps > Fuel)                                                  \
       VM_TRAP("step limit exceeded (out of fuel)", TrapKind::OutOfFuel);       \
-    if (HasDeadline && (Steps & (DeadlineCheckInterval - 1)) == 0 &&           \
-        std::chrono::steady_clock::now() >= DeadlineAt)                        \
-      VM_TRAP("wall-clock deadline exceeded", TrapKind::Deadline);             \
+    if (HasSafepoint && (Steps & (DeadlineCheckInterval - 1)) == 0) {          \
+      if ((Steps &                                                             \
+           (DeadlineCheckInterval * SharedFlushSafepointStride - 1)) == 0)     \
+        H.flushSharedDeltas();                                                 \
+      if (HasDeadline && std::chrono::steady_clock::now() >= DeadlineAt)       \
+        VM_TRAP("wall-clock deadline exceeded", TrapKind::Deadline);           \
+    }                                                                          \
   } while (0)
 
   // Re-derive the cached frame pointer / chunk pointers after anything

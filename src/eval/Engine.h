@@ -135,6 +135,19 @@ public:
   /// How many dispatches both engines run between deadline clock reads.
   static constexpr uint64_t DeadlineCheckInterval = 1024;
 
+  /// How many safepoints pass between full flushes of the heap's
+  /// shared-count coalescing buffer (Heap::flushSharedDeltas). Flushing
+  /// every safepoint would defeat coalescing: the dominant cancellation
+  /// is a dup from one traversal round netting against the decref from
+  /// the previous round, and a round usually spans many safepoint
+  /// intervals. A longer stride keeps staleness bounded (other workers
+  /// see counts at most this many dispatches old) without forcing one
+  /// RMW per operation. Correctness never depends on the stride: a
+  /// shared count cannot reach zero while any worker still runs (the
+  /// segment owner retains its root reference until after join), and
+  /// trap unwind and join flush unconditionally.
+  static constexpr uint64_t SharedFlushSafepointStride = 32;
+
   /// Enumerates every GC root the engine currently holds.
   virtual void enumerateRoots(const std::function<void(Value)> &Fn) const = 0;
 

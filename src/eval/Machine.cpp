@@ -73,11 +73,12 @@ RunResult Machine::run(FuncId F, std::vector<Value> Args) {
   Sink = H.statsSink();
   Trapped = false;
   CallDepth = 0;
-  if (DeadlineMs) {
+  if (DeadlineMs)
     DeadlineAt = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(DeadlineMs);
-    DeadlineCountdown = DeadlineCheckInterval;
-  }
+  SafepointArmed = DeadlineMs != 0 || H.sharedCoalescingEnabled();
+  if (SafepointArmed)
+    SafepointCountdown = DeadlineCheckInterval;
   Locals.clear();
   Operands.clear();
   Konts.clear();
@@ -132,9 +133,15 @@ bool Machine::step() {
       trap("step limit exceeded (out of fuel)", TrapKind::OutOfFuel);
       return false;
     }
-    if (DeadlineMs && --DeadlineCountdown == 0) {
-      DeadlineCountdown = DeadlineCheckInterval;
-      if (std::chrono::steady_clock::now() >= DeadlineAt) {
+    if (SafepointArmed && --SafepointCountdown == 0) {
+      SafepointCountdown = DeadlineCheckInterval;
+      // Safepoint: every SharedFlushSafepointStride-th one publishes the
+      // buffered shared-count deltas (bounded staleness for other
+      // workers; see Engine.h for why not every safepoint), then the
+      // deadline clock read.
+      if (++SafepointsSeen % SharedFlushSafepointStride == 0)
+        H.flushSharedDeltas();
+      if (DeadlineMs && std::chrono::steady_clock::now() >= DeadlineAt) {
         trap("wall-clock deadline exceeded", TrapKind::Deadline);
         return false;
       }

@@ -115,7 +115,12 @@ private:
   uint64_t CallDepth = 0; // live non-tail (Ret) frames
   uint64_t DeadlineMs = 0;
   std::chrono::steady_clock::time_point DeadlineAt{};
-  uint64_t DeadlineCountdown = 0; // dispatches until the next clock read
+  // Safepoints fire every DeadlineCheckInterval dispatches when armed
+  // (a deadline is set, or the heap coalesces shared counts and must
+  // flush periodically so other workers observe bounded-stale counts).
+  bool SafepointArmed = false;
+  uint64_t SafepointCountdown = 0; // dispatches until the next safepoint
+  uint64_t SafepointsSeen = 0;     // paces the coalescing-buffer flush
   bool Trapped = false;
   std::function<void(Value)> ResultInspector;
 };

@@ -20,6 +20,7 @@ void writeHeapStatsJson(JsonWriter &W, const HeapStats &S) {
       .member("decref_ops", S.DecRefOps)
       .member("non_heap_rc_ops", S.NonHeapRcOps)
       .member("atomic_rc_ops", S.AtomicRcOps)
+      .member("coalesced_rc_ops", S.CoalescedRcOps)
       .member("is_unique_tests", S.IsUniqueTests)
       .member("collections", S.Collections)
       .member("failed_allocs", S.FailedAllocs)

@@ -108,9 +108,15 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
   }
 
   // Phase 2: run the workers. Each owns a private heap and engine;
-  // frees of foreign shared cells park in the pool.
+  // frees of foreign shared cells park in the pool. Workers write their
+  // outcomes into cache-line-padded slots — the elements of Out.Workers
+  // are adjacent, and per-worker stores during the run must not bounce a
+  // line between cores (the same false-sharing rule as the pool shards).
   SharedCellPool Pool;
-  Out.Workers.resize(Workers);
+  struct alignas(64) PaddedOutcome {
+    WorkerOutcome WO;
+  };
+  std::vector<PaddedOutcome> Slots(Workers);
   HeapMode WorkerMode =
       Config.Mode == RcMode::None ? HeapMode::Gc : HeapMode::Rc;
   auto T0 = std::chrono::steady_clock::now();
@@ -119,9 +125,17 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
     Threads.reserve(Workers);
     for (unsigned W = 0; W != Workers; ++W) {
       Threads.emplace_back([&, W] {
-        WorkerOutcome &WO = Out.Workers[W];
+        WorkerOutcome &WO = Slots[W].WO;
         Heap H(WorkerMode, EC.GcThresholdBytes);
         H.setSharedPool(&Pool);
+        // Coalesce the shared-count traffic: net deltas accumulate in a
+        // per-worker buffer and flush in batches (engine safepoints, the
+        // unconditional post-run flush below, and trap unwinds inside
+        // run()). Safe here because the owner retains its root reference
+        // until after join — no shared count can reach zero out from
+        // under a worker's pending increment (DESIGN.md §7d).
+        if (HasShared)
+          H.enableSharedCoalescing();
         H.setLimits(EC.Limits.Heap);
         std::unique_ptr<Engine> M = makeEngine(H);
         M->setStepLimit(EC.Limits.Fuel);
@@ -138,6 +152,9 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
           WArgs.push_back(Root);
         auto W0 = std::chrono::steady_clock::now();
         WO.Run = M->run(EntryFn, std::move(WArgs));
+        // Every buffered delta must be published before this worker's
+        // stats and heap-empty flag are read at join.
+        H.flushSharedDeltas();
         WO.Seconds = secondsSince(W0);
         WO.Heap = H.stats();
         WO.HeapEmpty = H.empty();
@@ -147,6 +164,12 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
       T.join();
   }
   Out.Seconds = secondsSince(T0);
+  // Every thread that could park has joined: quiesce the pool, making
+  // parkedCells() exact and any late park() a checked contract violation.
+  Pool.setQuiesced(true);
+  Out.Workers.resize(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Out.Workers[W] = std::move(Slots[W].WO);
 
   // Phase 3: join bookkeeping, single-threaded again. Absorb the pool
   // (reconciling the owner's live-cell accounting), release the owner's

@@ -24,6 +24,19 @@ constexpr int32_t StickyRc = INT32_MIN;
 /// past INT32_MIN.
 constexpr int32_t StickyBandTop = INT32_MIN + (1 << 20);
 constexpr size_t SlabBytes = 256 * 1024;
+
+/// Direct-mapped coalescing-buffer index. Fibonacci hashing: cells are
+/// allocated at a constant stride (bump allocation of equal-size cells),
+/// and a plain shift-xor of the address maps a strided sequence onto a
+/// sub-lattice of the table — pairing nearly every cell with a conflict
+/// partner that evicts it each round. Multiplying by the golden-ratio
+/// constant spreads any stride uniformly; the well-mixed middle bits
+/// select the slot.
+size_t coalesceIndex(const Cell *C, size_t Slots) {
+  auto Bits = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(C) >> 4);
+  return static_cast<size_t>((Bits * 0x9E3779B97F4A7C15ull) >> 32) &
+         (Slots - 1);
+}
 } // namespace
 
 Heap::Heap(HeapMode Mode, size_t GcThresholdBytes)
@@ -161,9 +174,19 @@ void Heap::dup(Value V) {
     return;
   }
   // Thread-shared: the count is negative; incrementing the count means
-  // subtracting one, atomically. Sticky counts (the band at the bottom
-  // of the range) stay untouched — and since no RMW executes for them,
-  // they do not count as atomic ops.
+  // subtracting one, atomically. With coalescing the increment is
+  // absorbed into the buffer instead (an eviction may flush another
+  // slot, whose freed cells drainDropWork then disposes of).
+  if (Coalescing) {
+    ++Stats.CoalescedRcOps;
+    bufferSharedDelta(C, +1);
+    if (!SharedZero.empty() || !DropStack.empty())
+      drainDropWork();
+    return;
+  }
+  // Sticky counts (the band at the bottom of the range) stay untouched
+  // — and since no RMW executes for them, they do not count as atomic
+  // ops.
   if (Rc <= StickyBandTop)
     return;
   ++Stats.AtomicRcOps;
@@ -174,7 +197,32 @@ void Heap::dup(Value V) {
 /// (iteratively) drops its children.
 void Heap::dropRef(Cell *C) {
   DropStack.push_back(C);
-  while (!DropStack.empty()) {
+  drainDropWork();
+}
+
+/// The unified free-cascade loop: processes pending drops (DropStack) and
+/// cells whose flushed shared count reached zero (SharedZero) until both
+/// are empty. Freeing a cell pushes its children as drops; with coalescing
+/// those may land back in the buffer rather than on a count.
+void Heap::drainDropWork() {
+  while (!DropStack.empty() || !SharedZero.empty()) {
+    if (!SharedZero.empty()) {
+      // A flushed delta took this shared count to zero: this heap holds
+      // the last reference and must free. Children of a shared cell are
+      // shared too (markShared is transitive), so the cascade stays on
+      // shared paths.
+      Cell *Cur = SharedZero.back();
+      SharedZero.pop_back();
+      Value *Fields = Cur->fields();
+      for (uint32_t I = 0; I != Cur->H.Arity; ++I)
+        if (Fields[I].isHeap())
+          DropStack.push_back(Fields[I].Ref);
+      if (SharedPool && !locallyShared(Cur))
+        SharedPool->park(Cur);
+      else
+        release(Cur);
+      continue;
+    }
     Cell *Cur = DropStack.back();
     DropStack.pop_back();
     int32_t Rc = Cur->H.Rc.load(std::memory_order_relaxed);
@@ -186,21 +234,32 @@ void Heap::dropRef(Cell *C) {
     }
     if (Rc < 0) {
       // Thread-shared slow path (single fused `rc <= 1` test, 2.7.2).
+      // With coalescing the decrement is absorbed into the buffer; a
+      // zero can then only surface at a flush (applySharedDelta).
+      if (Coalescing) {
+        ++Stats.CoalescedRcOps;
+        bufferSharedDelta(Cur, -1);
+        continue;
+      }
       // Sticky counts are never updated, so no atomic op is recorded.
       if (Rc <= StickyBandTop)
         continue;
       ++Stats.AtomicRcOps;
-      if (Cur->H.Rc.fetch_add(1, std::memory_order_acq_rel) != -1)
+      // Release on the decrement; the acquire *load* below (only on the
+      // zero path) synchronizes with every other thread's decrement via
+      // the release sequence — the shared_ptr pattern, far cheaper than
+      // acq_rel on every decrement. A load (not a fence) so TSan models
+      // the ordering.
+      if (Cur->H.Rc.fetch_add(1, std::memory_order_release) != -1)
         continue;
-      // The count reached zero: this thread holds the last reference
-      // (the acq_rel decrement grants exclusivity) and must free. A
-      // shared cell owned by another heap cannot go on our free lists —
-      // park it in the pool for the owner to absorb at join.
+      (void)Cur->H.Rc.load(std::memory_order_acquire);
+      // The count reached zero: this thread holds the last reference and
+      // must free. A shared cell owned by another heap cannot go on our
+      // free lists — park it in the pool for the owner to absorb at
+      // join.
       Foreign = SharedPool && !locallyShared(Cur);
     }
     // Unique (or last shared reference): free, then drop the children.
-    // A shared cell's children are shared too (markShared is
-    // transitive), so a foreign cascade stays pool-routed.
     Value *Fields = Cur->fields();
     for (uint32_t I = 0; I != Cur->H.Arity; ++I)
       if (Fields[I].isHeap())
@@ -211,6 +270,94 @@ void Heap::dropRef(Cell *C) {
       release(Cur);
   }
 }
+
+void Heap::enableSharedCoalescing() {
+  if (Coalescing)
+    return;
+  Coalescing = true;
+  Coalesce = std::make_unique<CoalesceSlot[]>(CoalesceSlots);
+}
+
+/// Accumulates \p D into the direct-mapped slot for \p C, evicting (i.e.
+/// applying) a conflicting resident first and auto-applying the slot when
+/// its net delta saturates. May push freed cells onto SharedZero via
+/// applySharedDelta; callers drain afterwards.
+void Heap::bufferSharedDelta(Cell *C, int32_t D) {
+  CoalesceSlot &S = Coalesce[coalesceIndex(C, CoalesceSlots)];
+  if (S.C != C) {
+    if (S.C && S.Delta != 0)
+      applySharedDelta(S.C, S.Delta);
+    S.C = C;
+    S.Delta = 0;
+  }
+  S.Delta += D;
+  if (S.Delta >= MaxCoalescedDelta || S.Delta <= -MaxCoalescedDelta) {
+    int32_t Delta = S.Delta;
+    S.Delta = 0;
+    applySharedDelta(C, Delta);
+  }
+}
+
+/// Applies a net delta to \p C's shared count with a single RMW. A
+/// positive delta is net increments (count grows, rc decreases); a
+/// negative delta is net decrements, and if the applied count reaches
+/// zero the cell is queued on SharedZero for drainDropWork to free/park.
+/// Sticky-band counts discard their deltas without any RMW.
+void Heap::applySharedDelta(Cell *C, int32_t D) {
+  if (D == 0)
+    return;
+  int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+  assert(Rc < 0 && "coalesced delta on a non-shared cell");
+  if (Rc <= StickyBandTop)
+    return;
+  ++Stats.AtomicRcOps;
+  if (D > 0) {
+    C->H.Rc.fetch_sub(D, std::memory_order_relaxed);
+    return;
+  }
+  int32_t Add = -D;
+  int32_t Old = C->H.Rc.fetch_add(Add, std::memory_order_release);
+  assert(Old + Add <= 0 && "coalesced decrements exceeded the shared count");
+  if (Old + Add == 0) {
+    (void)C->H.Rc.load(std::memory_order_acquire);
+    SharedZero.push_back(C);
+  }
+}
+
+void Heap::flushSharedDeltas() {
+  if (!Coalescing)
+    return;
+  // Cascaded frees re-buffer child decrements, so loop until a full
+  // sweep finds the buffer empty. Within each sweep, net increments
+  // apply before net decrements (the deferred-RC flush rule): a pending
+  // increment justified by a still-held reference lands before any
+  // decrement can expose a zero.
+  bool Any = true;
+  while (Any) {
+    Any = false;
+    for (size_t I = 0; I != CoalesceSlots; ++I) {
+      CoalesceSlot &S = Coalesce[I];
+      if (S.C && S.Delta > 0) {
+        int32_t D = S.Delta;
+        S.Delta = 0;
+        applySharedDelta(S.C, D);
+        Any = true;
+      }
+    }
+    for (size_t I = 0; I != CoalesceSlots; ++I) {
+      CoalesceSlot &S = Coalesce[I];
+      if (S.C && S.Delta < 0) {
+        Cell *C = S.C;
+        int32_t D = S.Delta;
+        S.Delta = 0;
+        applySharedDelta(C, D);
+        Any = true;
+      }
+    }
+    drainDropWork();
+  }
+}
+
 
 void Heap::drop(Value V) {
   if (Sink)
@@ -251,6 +398,14 @@ bool Heap::isUnique(Value V) {
     return false;
   }
   ++Stats.IsUniqueTests;
+  // Pending coalesced deltas never require a flush here: deltas exist
+  // only for thread-shared cells (negative counts), and a shared cell is
+  // never unique no matter what this heap privately owes its count — a
+  // buffered decrement leaves the applied count too *negative*, and a
+  // buffered increment cannot carry it to zero while the run is live
+  // (the segment owner retains its root until after join). So the probe
+  // reads the applied count directly; a stale delta can never make it
+  // report true on a cell another thread holds.
   return V.Ref->H.Rc.load(std::memory_order_acquire) == 1;
 }
 
@@ -294,6 +449,11 @@ void Heap::resetGcThreshold() {
 }
 
 size_t Heap::reclaim(const std::vector<Value> &Roots) {
+  // Trap unwind: buffered shared deltas are applied first,
+  // unconditionally — a worker must never carry unflushed counts out of
+  // a trapped run (the other workers and the joining owner read those
+  // counts).
+  flushSharedDeltas();
   // Mark-and-free over the machine's (over-approximate) root set. Slots
   // may hold stale references — to cells whose ownership already moved
   // elsewhere, or to cells already freed. The former are deduplicated
@@ -337,6 +497,7 @@ size_t Heap::reclaim(const std::vector<Value> &Roots) {
 }
 
 size_t Heap::reclaimAll() {
+  flushSharedDeltas();
   size_t N = AllCells.size();
   for (Cell *C : AllCells)
     release(C);
@@ -346,6 +507,7 @@ size_t Heap::reclaimAll() {
 }
 
 size_t Heap::reclaimLeaked() {
+  flushSharedDeltas();
   size_t N = 0;
   for (Cell *C : AllCells) {
     // Registry entries can repeat (free-list reuse re-registers the
@@ -414,6 +576,7 @@ void perceus::accumulate(HeapStats &Into, const HeapStats &From) {
   Into.DecRefOps += From.DecRefOps;
   Into.NonHeapRcOps += From.NonHeapRcOps;
   Into.AtomicRcOps += From.AtomicRcOps;
+  Into.CoalescedRcOps += From.CoalescedRcOps;
   Into.IsUniqueTests += From.IsUniqueTests;
   Into.Collections += From.Collections;
   Into.FailedAllocs += From.FailedAllocs;

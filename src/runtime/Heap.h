@@ -68,9 +68,13 @@ struct HeapLimits {
 /// the number of RC operations the machine issued, which
 /// tests/runtime/stats_invariant_test.cpp cross-checks against the
 /// machine's own instruction counts for every program × config.
-/// AtomicRcOps additionally counts calls (never extra operations) whose
-/// RC update had to be an atomic RMW — a sticky count is never updated,
-/// so it does not count.
+/// AtomicRcOps and CoalescedRcOps are overlay counters on top of that
+/// classification (never extra operations): AtomicRcOps counts atomic
+/// RMWs actually *issued* on shared counts — with coalescing enabled
+/// that is one per buffer flush/eviction, not one per operation — and
+/// CoalescedRcOps counts shared-count updates absorbed into the
+/// coalescing buffer instead of being RMW'd immediately. A sticky count
+/// is never updated, so it contributes to neither.
 struct HeapStats {
   uint64_t Allocs = 0;        ///< cells allocated (fresh, not reused)
   uint64_t Frees = 0;         ///< cells released
@@ -78,7 +82,8 @@ struct HeapStats {
   uint64_t DropOps = 0;       ///< executed drops on heap values
   uint64_t DecRefOps = 0;     ///< executed decrefs
   uint64_t NonHeapRcOps = 0;  ///< rc ops that were no-ops (see invariant)
-  uint64_t AtomicRcOps = 0;   ///< rc updates that had to be atomic
+  uint64_t AtomicRcOps = 0;   ///< atomic RMWs issued (flushes, not ops)
+  uint64_t CoalescedRcOps = 0;///< shared rc updates absorbed by the buffer
   uint64_t IsUniqueTests = 0; ///< executed is-unique tests
   uint64_t Collections = 0;   ///< tracing GC runs
   uint64_t FailedAllocs = 0;  ///< allocations refused by the governor
@@ -175,6 +180,38 @@ public:
   void setSharedPool(SharedCellPool *P) { SharedPool = P; }
   SharedCellPool *sharedPool() const { return SharedPool; }
 
+  //===--- Shared-count coalescing (deferred/batched RC traffic) -------------//
+
+  /// Enables per-heap coalescing of shared-count traffic: dup/drop/decref
+  /// on thread-shared cells accumulate *net deltas* in a small
+  /// direct-mapped buffer instead of issuing one atomic RMW per
+  /// operation (most RC traffic on shared structures cancels locally —
+  /// the Counting Immutable Beans observation). Deltas are applied — one
+  /// RMW per cell per flush — when a slot is evicted or saturates, on
+  /// flushSharedDeltas() (engines call it on a safepoint cadence;
+  /// ParallelRunner at join), and unconditionally on trap unwind
+  /// (reclaim/reclaimAll flush first), so the heap-empty guarantee is
+  /// untouched. isUnique probes need no flush: deltas exist only for
+  /// shared cells, which are never unique regardless of what this heap
+  /// privately owes their counts (see the comment in isUnique).
+  ///
+  /// Flush ordering contract: within a flush, net increments apply
+  /// before net decrements (the classic deferred-RC rule), so a pending
+  /// increment justified by a reference this thread still holds lands
+  /// before any decrement can expose a zero. A shared cell's count can
+  /// therefore only reach zero through deltas of references the program
+  /// really gave up — provided the segment owner retains its root
+  /// reference until every worker joined and flushed, which
+  /// ParallelRunner guarantees (see DESIGN.md §7d).
+  void enableSharedCoalescing();
+  bool sharedCoalescingEnabled() const { return Coalescing; }
+
+  /// Applies every buffered shared-count delta (one RMW per distinct
+  /// cell), freeing/parking cells whose count reached zero, and loops
+  /// until cascaded frees stop refilling the buffer. No-op when
+  /// coalescing is off or the buffer is empty.
+  void flushSharedDeltas();
+
   /// Drains \p Pool into this heap: every parked cell is released here —
   /// statistics reconciled, memory recycled through the per-arity free
   /// lists. Call on the owning heap after all foreign threads joined.
@@ -258,6 +295,9 @@ private:
   Cell *allocRaw(uint32_t Arity);
   void release(Cell *C);
   void dropRef(Cell *C);
+  void drainDropWork();
+  void bufferSharedDelta(Cell *C, int32_t D);
+  void applySharedDelta(Cell *C, int32_t D);
   bool locallyShared(const Cell *C) const {
     return !LocallyShared.empty() && LocallyShared.count(C) != 0;
   }
@@ -268,12 +308,10 @@ private:
 
   /// Free cells keep their header intact (rc == 0 marks them free, and
   /// the arity stays readable for the unwind walk); the free-list link
-  /// lives in the first field slot, which every cell has thanks to the
-  /// 16-byte allocation rounding.
-  static Cell *&freeListNext(Cell *C) {
-    return *reinterpret_cast<Cell **>(reinterpret_cast<char *>(C) +
-                                      sizeof(CellHeader));
-  }
+  /// lives in the first field slot — the shared cellFreeLink slot the
+  /// SharedCellPool's Treiber shards also use (a cell is on at most one
+  /// list at a time).
+  static Cell *&freeListNext(Cell *C) { return cellFreeLink(C); }
 
   HeapMode Mode;
   HeapStats Stats;
@@ -314,6 +352,29 @@ private:
 
   // Reused worklist for iterative recursive drops.
   std::vector<Cell *> DropStack;
+
+  // Shared-count coalescing. The buffer is a direct-mapped table of
+  // (cell, net delta) slots, allocated on enableSharedCoalescing();
+  // SharedZero collects cells whose flushed count reached zero, for
+  // drainDropWork to free/park.
+  struct CoalesceSlot {
+    Cell *C = nullptr;
+    int32_t Delta = 0;
+  };
+  /// Power-of-two slot count: sized so a hot working set coalesces well
+  /// while the table stays cache-resident (2048 slots × 16 B = 32 KiB).
+  /// Cross-round cancellation — this round's dup netting against last
+  /// round's decref — needs the whole traversed structure resident, so
+  /// the table is sized for thousands of distinct shared cells.
+  static constexpr size_t CoalesceSlots = 2048;
+  /// A slot auto-applies when its net delta saturates. Together with the
+  /// worker count this bounds how far a racing flush can step a count
+  /// past the sticky-band check: MaxCoalescedDelta × racers must stay
+  /// well below the 2^20 band width (2^16 leaves room for 15 racers).
+  static constexpr int32_t MaxCoalescedDelta = 1 << 16;
+  bool Coalescing = false;
+  std::unique_ptr<CoalesceSlot[]> Coalesce;
+  std::vector<Cell *> SharedZero;
 };
 
 } // namespace perceus

@@ -1,28 +1,24 @@
-//===- runtime/SharedPool.cpp - Thread-safe shared-cell release ----------===//
+//===- runtime/SharedPool.cpp - Lock-free shared-cell release ------------===//
 //
 // Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pool is header-only since the mutexed shards were replaced with
+// lock-free Treiber free lists (park/drain are small enough to inline
+// into the release hot path). This TU pins the layout contracts that
+// the header's static_asserts cannot express about the completed type.
 //
 //===----------------------------------------------------------------------===//
 
 #include "runtime/SharedPool.h"
 
-using namespace perceus;
+namespace perceus {
 
-void SharedCellPool::park(Cell *C) {
-  // The parking thread holds the last reference: it may write the freed
-  // marker without a RMW. Readers racing on stale references synchronize
-  // through the acq_rel decrement that granted this thread exclusivity.
-  C->H.Rc.store(0, std::memory_order_release);
-  Shard &S = shardFor(C);
-  std::lock_guard<std::mutex> Lock(S.Mu);
-  S.Parked.push_back(C);
-}
+// A freed cell must be able to carry the Treiber link in its first field
+// slot: the 16-byte allocation rounding guarantees the slot exists even
+// for arity-0 cells.
+static_assert(sizeof(CellHeader) + sizeof(Cell *) <= 16,
+              "free-link slot must fit the minimum cell allocation");
 
-uint64_t SharedCellPool::parkedCells() const {
-  uint64_t N = 0;
-  for (const Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.Mu);
-    N += S.Parked.size();
-  }
-  return N;
-}
+} // namespace perceus

@@ -173,6 +173,18 @@ struct Cell {
 
 static_assert(sizeof(Value) == 16, "Value should stay two words");
 
+/// The free-link of a freed cell. Free cells keep their header intact
+/// (rc == 0 is the freed marker, and the arity stays readable for the
+/// trap-unwind walk), so the link lives in the first field slot — which
+/// every cell has thanks to the 16-byte allocation rounding. The same
+/// slot serves the heap's single-threaded per-arity free lists and the
+/// SharedCellPool's lock-free Treiber shards: a cell is on at most one
+/// of them at a time (exactly one thread ever frees a given cell).
+inline Cell *&cellFreeLink(Cell *C) {
+  return *reinterpret_cast<Cell **>(reinterpret_cast<char *>(C) +
+                                    sizeof(CellHeader));
+}
+
 } // namespace perceus
 
 #endif // PERCEUS_RUNTIME_VALUE_H

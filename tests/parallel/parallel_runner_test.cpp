@@ -97,6 +97,9 @@ TEST_P(ParallelRunnerTest, SharedSegmentIsBuiltOnceAndFreedExactlyOnce) {
     EXPECT_TRUE(W.HeapEmpty);
     EXPECT_GT(W.Heap.AtomicRcOps, 0u)
         << "traversing a shared tree must take the atomic path";
+    EXPECT_GT(W.Heap.CoalescedRcOps, W.Heap.AtomicRcOps)
+        << "most shared-count traffic must be absorbed by the "
+           "coalescing buffer, not issued as RMWs";
   }
   EXPECT_TRUE(Out.AllHeapsEmpty) << "shared heap empty after join";
   EXPECT_EQ(Out.SharedLeaked, 0u) << "clean runs sweep nothing";
@@ -125,6 +128,32 @@ TEST_P(ParallelRunnerTest, TrappedWorkersLeakNothingAnywhere) {
   // unrecoverable by counting; the owner's registry sweep must finish
   // the job so the garbage-free guarantee survives the traps.
   EXPECT_TRUE(Out.AllHeapsEmpty);
+}
+
+TEST_P(ParallelRunnerTest, FaultSweepFlushesBuffersOnEveryTrapUnwind) {
+  // Per-k fuel sweep over the contended shared workload: whatever
+  // dispatch the trap lands on, the unwind must flush every buffered
+  // shared-count delta (a worker may not carry unflushed counts out of
+  // a trapped run) and every heap — workers and owner — must end empty.
+  // Sweeping k walks the trap point across dup/drop/flush boundaries.
+  ParallelRunner PR(sharedTreeSource(), PassConfig::perceusFull());
+  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
+
+  for (uint64_t Fuel = 1; Fuel <= 2000; Fuel += 83) {
+    EngineConfig EC = cfg(2);
+    EC.SharedBuilder = "build_tree";
+    EC.SharedArgs = {Value::makeInt(5)};
+    EC.Limits.Fuel = Fuel;
+    ParallelOutcome Out = PR.run(EC, "bench_shared_sum", ints({100000}));
+    ASSERT_FALSE(Out.Ok) << "fuel=" << Fuel << " must trap";
+    for (const WorkerOutcome &W : Out.Workers) {
+      EXPECT_EQ(W.Run.Trap, TrapKind::OutOfFuel) << "fuel=" << Fuel;
+      EXPECT_TRUE(W.HeapEmpty)
+          << "fuel=" << Fuel << ": trap unwind left worker cells live";
+    }
+    EXPECT_TRUE(Out.AllHeapsEmpty)
+        << "fuel=" << Fuel << ": shared segment leaked after trap";
+  }
 }
 
 TEST_P(ParallelRunnerTest, CombinedStatsAreTheFieldwiseSum) {

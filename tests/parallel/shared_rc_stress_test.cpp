@@ -163,6 +163,156 @@ TEST(SharedRcStress, StickySaturationUnderContention) {
   Owner.freeMemoryOnly(C); // test cleanup of the pinned cell
 }
 
+TEST(SharedRcStress, CoalescedStormLeavesCountsBalanced) {
+  // The coalescing analogue of the storm above: every worker buffers its
+  // shared-count traffic and flushes at most a handful of net deltas.
+  // After the join the published counts must be exactly what the owner
+  // wrote — stale unflushed deltas may never leak past a flush, and
+  // isUnique must never report true on a cell other threads hold, no
+  // matter what sits in the prober's buffer.
+  Heap Owner;
+  std::vector<Cell *> Nodes;
+  Value Root = buildTree(Owner, 6, Nodes);
+  Owner.markShared(Root);
+
+  SharedCellPool Pool;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Heap H;
+      H.setSharedPool(&Pool);
+      H.enableSharedCoalescing();
+      for (int I = 0; I != 2000; ++I) {
+        for (size_t N = T % 3; N < Nodes.size(); N += 3) {
+          Value V = Value::makeRef(Nodes[N]);
+          H.dup(V);
+          EXPECT_FALSE(H.isUnique(V)) << "shared cells are never unique";
+          if ((I + N) % 2)
+            H.drop(V);
+          else
+            H.decref(V);
+        }
+      }
+      H.flushSharedDeltas();
+      EXPECT_TRUE(H.empty());
+      // Balanced traffic coalesces: the RMWs actually issued must be a
+      // small fraction of the operations absorbed.
+      EXPECT_GT(H.stats().CoalescedRcOps, 0u);
+      EXPECT_LT(H.stats().AtomicRcOps, H.stats().CoalescedRcOps / 4);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Pool.setQuiesced(true);
+
+  EXPECT_EQ(Pool.parkedCells(), 0u) << "balanced ops free nothing";
+  for (Cell *N : Nodes)
+    EXPECT_LT(N->H.Rc.load(), 0) << "still shared, still live";
+  Owner.drop(Root);
+  EXPECT_TRUE(Owner.empty()) << "owner's reference was the last";
+}
+
+TEST(SharedRcStress, CoalescedLastReferenceRaceFreesExactlyOnce) {
+  // The last-reference race with every racer's decrement deferred into
+  // its coalescing buffer: zeros can only surface at a flush, and still
+  // exactly one racer must observe the zero and park both cells.
+  constexpr int Rounds = 500;
+  Heap Owner;
+  for (int R = 0; R != Rounds; ++R) {
+    Cell *Child = Owner.alloc(0, 0, CellKind::Ctor);
+    Cell *Parent = Owner.alloc(1, 0, CellKind::Ctor);
+    Parent->fields()[0] = Value::makeRef(Child);
+    Value Root = Value::makeRef(Parent);
+    Owner.markShared(Root);
+    for (int T = 1; T != NumThreads; ++T)
+      Owner.dup(Root);
+
+    SharedCellPool Pool;
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumThreads; ++T) {
+      Threads.emplace_back([&] {
+        Heap H;
+        H.setSharedPool(&Pool);
+        H.enableSharedCoalescing();
+        H.drop(Root); // deferred into the buffer
+        H.flushSharedDeltas();
+        EXPECT_TRUE(H.empty());
+      });
+    }
+    for (std::thread &T : Threads)
+      T.join();
+    Pool.setQuiesced(true);
+
+    EXPECT_EQ(Pool.parkedCells(), 2u) << "parent and child, each once";
+    EXPECT_EQ(Owner.absorbSharedFrees(Pool), 2u);
+    EXPECT_TRUE(Owner.empty());
+  }
+}
+
+TEST(SharedRcStress, MpscParkDrainRaceStorm) {
+  // Hammers the lock-free Treiber shards: 7 producers park cells
+  // concurrently while a consumer drains in a loop (whole-shard acquire
+  // exchange racing the release CAS pushes). Every parked cell must come
+  // out exactly once, and once the producers joined and the pool is
+  // quiesced, parkedCells() is exact.
+  constexpr int PerProducer = 4000;
+  constexpr int Producers = NumThreads - 1;
+  Heap Owner;
+  std::vector<Cell *> Cells;
+  for (int I = 0; I != Producers * PerProducer; ++I)
+    Cells.push_back(Owner.alloc(0, 0, CellKind::Ctor));
+
+  SharedCellPool Pool;
+  std::atomic<uint64_t> Drained{0};
+  std::atomic<bool> Done{false};
+  std::vector<Cell *> Recovered;
+  std::thread Consumer([&] {
+    while (!Done.load(std::memory_order_acquire))
+      Pool.drain([&](Cell *C) {
+        Recovered.push_back(C);
+        Drained.fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  std::vector<std::thread> Threads;
+  for (int P = 0; P != Producers; ++P) {
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I != PerProducer; ++I)
+        Pool.park(Cells[size_t(P) * PerProducer + I]);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Consumer.join();
+
+  // Producers joined: quiesced, so the count is exact — whatever the
+  // consumer did not take is still parked, nothing was lost or doubled.
+  Pool.setQuiesced(true);
+  uint64_t Remaining = Pool.parkedCells();
+  EXPECT_EQ(Drained.load() + Remaining, uint64_t(Producers) * PerProducer)
+      << "quiesced count is exact: drained + parked covers every cell";
+  Pool.drain([&](Cell *C) {
+    Recovered.push_back(C);
+    Drained.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Drained.load(), uint64_t(Producers) * PerProducer);
+  EXPECT_EQ(Pool.parkedCells(), 0u);
+  EXPECT_EQ(Recovered.size(), Cells.size());
+  // Test cleanup: give the freed cells back to the owning heap.
+  for (Cell *C : Recovered)
+    Owner.releaseForSweep(C);
+  EXPECT_TRUE(Owner.empty());
+}
+
+TEST(SharedRcStress, ShardPaddingPinsCacheLineIsolation) {
+  // The false-sharing fix is a layout contract: shards are padded to at
+  // least a cache line so two workers parking into different shards
+  // never bounce the same line.
+  static_assert(SharedCellPool::ShardAlignment >= 64,
+                "shards must span at least one cache line");
+  EXPECT_GE(SharedCellPool::ShardAlignment, 64u);
+}
+
 TEST(SharedRcStress, ConcurrentDecrefRaceOnSharedList) {
   // decref takes the same fused slow path as drop; race it specifically:
   // a chain of cells where each thread's single decref of the head may

@@ -294,13 +294,17 @@ TEST(Heap, DropChildrenIsTheDropReusePath) {
 }
 
 TEST(Heap, ConcurrentSharedCounting) {
-  Heap H;
-  Value V = mkCell(H, 0);
-  H.markShared(V);
+  // The threading model of 2.7.2: heaps are single-threaded, shared
+  // *counts* are atomic. Each racer therefore drives its own private
+  // heap (as ParallelRunner workers do) against the one shared cell.
+  Heap Owner;
+  Value V = mkCell(Owner, 0);
+  Owner.markShared(V);
   constexpr int Threads = 4, Iters = 20000;
   std::vector<std::thread> Ts;
   for (int T = 0; T != Threads; ++T) {
-    Ts.emplace_back([&H, V] {
+    Ts.emplace_back([V] {
+      Heap H;
       for (int I = 0; I != Iters; ++I) {
         H.dup(V);
         H.drop(V);
@@ -310,8 +314,8 @@ TEST(Heap, ConcurrentSharedCounting) {
   for (auto &T : Ts)
     T.join();
   EXPECT_EQ(V.Ref->H.Rc.load(), -1); // balanced
-  H.drop(V);
-  EXPECT_TRUE(H.empty());
+  Owner.drop(V);
+  EXPECT_TRUE(Owner.empty());
 }
 
 TEST(Heap, SharedDecRefDropToZeroFreesChildren) {
@@ -901,6 +905,184 @@ TEST(HeapTrim, HeapIsFullyUsableAfterTrim) {
   EXPECT_TRUE(H.empty());
   // And a second trim on the already-trimmed heap releases nothing new.
   EXPECT_EQ(H.trimRetained(), 0u);
+}
+
+//===--- Shared-count coalescing ------------------------------------------===//
+
+TEST(HeapCoalesce, SharedTrafficNetsToZeroRmws) {
+  // The tentpole property: balanced dup/drop traffic on a shared cell
+  // accumulates in the buffer and cancels — no atomic RMW ever issues,
+  // not even at the flush (the net delta is zero).
+  Heap H;
+  H.enableSharedCoalescing();
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  for (int I = 0; I != 1000; ++I) {
+    H.dup(V);
+    H.drop(V);
+  }
+  EXPECT_EQ(H.stats().CoalescedRcOps, 2000u);
+  EXPECT_EQ(H.stats().AtomicRcOps, 0u);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1);
+  H.flushSharedDeltas();
+  EXPECT_EQ(H.stats().AtomicRcOps, 0u);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1);
+  H.drop(V);
+  H.flushSharedDeltas();
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapCoalesce, FlushAppliesTheNetDeltaInOneRmw) {
+  Heap H;
+  H.enableSharedCoalescing();
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  H.dup(V);
+  H.dup(V);
+  H.dup(V);
+  // Three buffered increments, count not yet touched.
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1);
+  H.flushSharedDeltas();
+  // One RMW applied the net +3 (count grows = rc decreases).
+  EXPECT_EQ(H.stats().AtomicRcOps, 1u);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -4);
+  for (int I = 0; I != 4; ++I)
+    H.decref(V);
+  H.flushSharedDeltas();
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapCoalesce, LastReferenceFreesViaFlushWithCascade) {
+  // A buffered decrement defers the free until the flush; the flush's
+  // cascade then re-buffers the child's decrement and the flush loop
+  // applies it too — the heap ends empty, same as without coalescing.
+  Heap H;
+  H.enableSharedCoalescing();
+  Value Child = mkCell(H, 0);
+  Value Parent = mkCell(H, 1);
+  Parent.Ref->fields()[0] = Child;
+  H.markShared(Parent);
+  H.decref(Parent);
+  // Deferred: nothing freed yet, count untouched.
+  EXPECT_EQ(H.stats().Frees, 0u);
+  EXPECT_EQ(Parent.Ref->H.Rc.load(), -1);
+  H.flushSharedDeltas();
+  EXPECT_EQ(H.stats().Frees, 2u);
+  EXPECT_TRUE(H.empty());
+  // Parent's decrement and the cascaded child decrement: one RMW each.
+  EXPECT_EQ(H.stats().AtomicRcOps, 2u);
+}
+
+TEST(HeapCoalesce, StickyDeltasAreDiscardedAtFlush) {
+  Heap H;
+  H.enableSharedCoalescing();
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  V.Ref->H.Rc.store(INT32_MIN, std::memory_order_relaxed);
+  for (int I = 0; I != 10; ++I) {
+    H.dup(V);
+    H.drop(V);
+  }
+  H.drop(V); // would free a non-sticky cell
+  H.flushSharedDeltas();
+  // Buffered ops were classified, but the sticky band pins the cell:
+  // no RMW, no free, count untouched.
+  EXPECT_EQ(H.stats().CoalescedRcOps, 21u);
+  EXPECT_EQ(H.stats().AtomicRcOps, 0u);
+  EXPECT_EQ(H.stats().Frees, 0u);
+  EXPECT_EQ(V.Ref->H.Rc.load(), INT32_MIN);
+}
+
+TEST(HeapCoalesce, ConflictEvictionAppliesTheResidentDelta) {
+  // More distinct shared cells than buffer slots: direct-mapped
+  // conflicts evict residents (applying their deltas) instead of
+  // growing unbounded state; the final flush settles the rest and a
+  // balancing pass still empties the heap.
+  Heap H;
+  H.enableSharedCoalescing();
+  constexpr size_t N = 3000; // > CoalesceSlots
+  std::vector<Value> Cells;
+  for (size_t I = 0; I != N; ++I) {
+    Cells.push_back(mkCell(H, 0));
+    H.markShared(Cells.back());
+    H.dup(Cells.back());
+  }
+  // At most one delta per slot can stay resident; the rest were applied
+  // on eviction.
+  EXPECT_GE(H.stats().AtomicRcOps, uint64_t(N) - 2048u);
+  for (Value V : Cells) {
+    H.drop(V);
+    H.drop(V);
+  }
+  H.flushSharedDeltas();
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapCoalesce, SlotSaturationAutoApplies) {
+  // A single hot cell dup'd past the saturation bound auto-applies its
+  // slot so a racing flush can never step the count further than
+  // MaxCoalescedDelta past what the sticky-band check saw.
+  Heap H;
+  H.enableSharedCoalescing();
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  constexpr int N = (1 << 16) + 5;
+  for (int I = 0; I != N; ++I)
+    H.dup(V);
+  // The 2^16-th dup saturated the slot and applied it (one RMW); five
+  // more sit buffered.
+  EXPECT_EQ(H.stats().AtomicRcOps, 1u);
+  EXPECT_EQ(V.Ref->H.Rc.load(), -1 - (1 << 16));
+  for (int I = 0; I != N + 1; ++I)
+    H.decref(V);
+  H.flushSharedDeltas();
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapCoalesce, ReclaimFlushesBufferedDeltasFirst) {
+  // Trap unwind must not run against counts the heap privately owes
+  // updates to: reclaim flushes, which here frees the cell, and the
+  // walk then skips it via the freed marker instead of double-freeing.
+  Heap H;
+  H.enableSharedCoalescing();
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  H.decref(V);
+  EXPECT_EQ(H.stats().Frees, 0u);
+  size_t Freed = H.reclaim({V});
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.stats().Frees, 1u);
+  // The flush freed it; the unwind walk found only the freed marker.
+  EXPECT_EQ(Freed, 0u);
+}
+
+TEST(HeapCoalesce, IsUniqueNeverTrueWithStaleDeltas) {
+  // A stale unflushed delta must never let is-unique report true on a
+  // shared cell: buffered decrements leave the applied count too
+  // negative, and the probe reads the applied count.
+  Heap H;
+  H.enableSharedCoalescing();
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  H.dup(V); // applied count lags the true count by one
+  EXPECT_FALSE(H.isUnique(V));
+  H.drop(V);
+  H.drop(V);
+  EXPECT_FALSE(H.isUnique(V));
+  H.flushSharedDeltas();
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(HeapCoalesce, DisabledByDefaultKeepsEagerAtomics) {
+  Heap H;
+  Value V = mkCell(H, 0);
+  H.markShared(V);
+  H.dup(V);
+  H.drop(V);
+  EXPECT_EQ(H.stats().AtomicRcOps, 2u);
+  EXPECT_EQ(H.stats().CoalescedRcOps, 0u);
+  H.drop(V);
+  EXPECT_TRUE(H.empty());
 }
 
 TEST(HeapTrim, OversizedSlabIsReleasedByTrim) {

@@ -196,8 +196,8 @@ TEST(StatsJson, PercStatsDocumentHasTheDocumentedShape) {
   ASSERT_NE(Heap, nullptr);
   for (const char *Key :
        {"allocs", "frees", "dup_ops", "drop_ops", "decref_ops",
-        "non_heap_rc_ops", "atomic_rc_ops", "is_unique_tests", "live_bytes",
-        "peak_bytes", "live_cells"})
+        "non_heap_rc_ops", "atomic_rc_ops", "coalesced_rc_ops",
+        "is_unique_tests", "live_bytes", "peak_bytes", "live_cells"})
     EXPECT_NE(Heap->find(Key, JsonValue::Kind::Number), nullptr) << Key;
   const JsonValue *Run = Doc->find("run", JsonValue::Kind::Object);
   ASSERT_NE(Run, nullptr);
