@@ -185,6 +185,19 @@ std::string BenchReport::json() const {
           .member("heap_empty", R.M.Svc.HeapEmpty)
           .endObject();
     }
+    if (R.M.Shard.Present) {
+      W.key("shard")
+          .beginObject()
+          .member("shard", R.M.Shard.Shard)
+          .member("requests", R.M.Shard.Requests)
+          .member("executed", R.M.Shard.Executed)
+          .member("cache_hits", R.M.Shard.CacheHits)
+          .member("cache_compiles", R.M.Shard.CacheCompiles)
+          .member("cache_evictions", R.M.Shard.CacheEvictions)
+          .member("sheds", R.M.Shard.Sheds)
+          .member("qps", R.M.Shard.Qps)
+          .endObject();
+    }
     if (R.M.Ov.Present) {
       W.key("overload")
           .beginObject()
@@ -359,6 +372,19 @@ std::string perceus::bench::validateBenchJson(std::string_view Text) {
       if (Svc->find("retry_after_ms") &&
           !Svc->find("retry_after_ms", K::Number))
         return "mistyped 'retry_after_ms' in service";
+    }
+    // Sharded-front-end rows (bench_net) carry one per-shard isolation
+    // object each; when present its shape is pinned too.
+    if (const JsonValue *Sh = R.find("shard", K::Object)) {
+      if (!requireKey(*Sh, "shard", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "requests", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "executed", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "cache_hits", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "cache_compiles", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "cache_evictions", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "sheds", K::Number, "shard", Err) ||
+          !requireKey(*Sh, "qps", K::Number, "shard", Err))
+        return Err;
     }
     // Overload-mix rows (bench_overload) carry per-tenant open-loop
     // latency/shedding telemetry; when present its shape is pinned too.

@@ -82,6 +82,22 @@ struct OverloadInfo {
   uint64_t RetainedPeakBytes = 0; ///< worst worker-retained bytes observed
 };
 
+/// Per-shard front-end telemetry attached to a row (bench_net): one
+/// row per shard of the sharded socket dispatcher, showing that cache,
+/// quota, and shed state stay isolated per shard. Rows with
+/// Present=false omit the object.
+struct ShardInfo {
+  bool Present = false;
+  uint64_t Shard = 0;          ///< shard index in the front end
+  uint64_t Requests = 0;       ///< submitted to this shard
+  uint64_t Executed = 0;       ///< ran on one of the shard's workers
+  uint64_t CacheHits = 0;      ///< artifact-cache hits (shard-local cache)
+  uint64_t CacheCompiles = 0;  ///< compiles (≥1 per shard touching a source)
+  uint64_t CacheEvictions = 0; ///< shard-local LRU evictions
+  uint64_t Sheds = 0;          ///< shed + admission rejections on this shard
+  double Qps = 0;              ///< executed / wall-clock of the phase
+};
+
 /// One measured cell of the table.
 struct Measurement {
   bool Ran = false;
@@ -90,8 +106,9 @@ struct Measurement {
   int64_t Checksum = 0;
   HeapStats Heap;
   RunResult Run;
-  ServiceInfo Svc; ///< service-mode rows only (see ServiceInfo)
-  OverloadInfo Ov; ///< overload-mix rows only (see OverloadInfo)
+  ServiceInfo Svc;  ///< service-mode rows only (see ServiceInfo)
+  OverloadInfo Ov;  ///< overload-mix rows only (see OverloadInfo)
+  ShardInfo Shard;  ///< sharded-front-end rows only (see ShardInfo)
 };
 
 /// Runs \p Prog under \p Config on the engine \p EC selects, once, and

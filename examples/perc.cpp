@@ -36,15 +36,16 @@
 ///                     (repeatable)
 ///   ARGS              integer arguments for the entry function
 ///
-/// Service batch mode (the long-lived session engine, src/service):
+/// Service batch mode (the long-lived session engine, src/service,
+/// dispatched through the hash-routed shards of src/net):
 ///
-///   perc FILE.perc --serve [--requests=FILE] [--serve-workers=N]
-///        [--queue-cap=N] [--max-retained=BYTES] [--tenant=NAME]
-///        [--max-cache-bytes=BYTES] [--chaos-seed=N]
+///   perc FILE.perc --serve [--requests=FILE] [--shards=N]
+///        [--serve-workers=N] [--queue-cap=N] [--max-retained=BYTES]
+///        [--tenant=NAME] [--max-cache-bytes=BYTES] [--chaos-seed=N]
 ///
 /// compiles the program once and executes one request per input line
 /// (stdin by default) against pooled worker heaps, printing one
-/// perceus-stats-v1 JSON document per request. A request line is
+/// perceus-wire-v1 JSON document per request. A request line is
 ///
 ///   ENTRY [ARGS...] [--fuel=N] [--deadline-ms=N] [--fail-alloc=N]
 ///         [--max-depth=N] [--engine=cek|vm] [--config=NAME]
@@ -57,9 +58,27 @@
 /// silent skip, never an abort. Rejections and traps are structured
 /// results in the JSON, not process failures: the exit code is 0
 /// whenever serving itself worked. `--tenant=` sets the default tenant
-/// for every request; `--max-cache-bytes=` bounds the artifact cache
-/// (LRU eviction); `--chaos-seed=` enables seeded fault injection at
-/// every service boundary (ChaosConfig::defaults).
+/// for every request; `--max-cache-bytes=` bounds each shard's artifact
+/// cache (LRU eviction); `--chaos-seed=` enables seeded fault injection
+/// at every service boundary (ChaosConfig::defaults).
+///
+/// Socket mode (the event-loop front end, src/net):
+///
+///   perc FILE.perc --listen=HOST:PORT [--shards=N] [--serve-workers=N]
+///        [--queue-cap=N] [--max-retained=BYTES] [--tenant=NAME]
+///        [--max-cache-bytes=BYTES] [--chaos-seed=N]
+///        [--max-frame-bytes=N] [--idle-timeout-ms=N] [--max-conns=N]
+///        [--max-requests=N]
+///
+/// serves the same perceus-wire-v1 documents over TCP, framed either as
+/// newline-delimited JSON or as 4-byte big-endian length-prefixed JSON
+/// (auto-detected per connection; see net/Wire.h). Requests route to N
+/// service shards by (tenant, source) hash; every response carries its
+/// shard id. `--shards=0` / `--serve-workers=0` size from the hardware
+/// (clamped). Port 0 binds an ephemeral port; the chosen port is
+/// printed in the `[listen]` banner on stderr. SIGINT/SIGTERM (or
+/// `--max-requests=N` responses) shut down cleanly with aggregated and
+/// per-shard stats on stderr and exit 0.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +86,9 @@
 #include "eval/StatsJson.h"
 #include "ir/Printer.h"
 #include "lang/Resolver.h"
+#include "net/Poller.h"
+#include "net/Server.h"
+#include "net/ShardedService.h"
 #include "parallel/ParallelRunner.h"
 #include "perceus/Pipeline.h"
 #include "service/Service.h"
@@ -75,14 +97,17 @@
 #include "support/JsonWriter.h"
 #include "support/Telemetry.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <poll.h>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 using namespace perceus;
@@ -100,9 +125,15 @@ void usage() {
                "            [--shared-input=FN] [--shared-arg=N] "
                "[ARGS...]\n"
                "       perc FILE.perc --serve [--requests=FILE] "
-               "[--serve-workers=N] [--queue-cap=N] [--max-retained=BYTES]\n"
-               "            [--tenant=NAME] [--max-cache-bytes=BYTES] "
-               "[--chaos-seed=N]\n");
+               "[--shards=N] [--serve-workers=N] [--queue-cap=N]\n"
+               "            [--max-retained=BYTES] [--tenant=NAME] "
+               "[--max-cache-bytes=BYTES] [--chaos-seed=N]\n"
+               "       perc FILE.perc --listen=HOST:PORT [--shards=N] "
+               "[--serve-workers=N] [--queue-cap=N]\n"
+               "            [--max-retained=BYTES] [--tenant=NAME] "
+               "[--max-cache-bytes=BYTES] [--chaos-seed=N]\n"
+               "            [--max-frame-bytes=N] [--idle-timeout-ms=N] "
+               "[--max-conns=N] [--max-requests=N]\n");
 }
 
 bool parsePassConfig(const char *Name, PassConfig &Out) {
@@ -297,10 +328,8 @@ LineParse parseRequestLine(const std::string &Line, ServiceRequest &R,
 
 int serveMain(const std::string &Source, const PassConfig &DefConfig,
               EngineKind DefEngine, const RunLimits &DefLimits,
-              const std::string &RequestsPath, unsigned Workers,
-              size_t QueueCap, size_t MaxRetained,
-              const std::string &DefTenant, size_t MaxCacheBytes,
-              uint64_t ChaosSeed) {
+              const std::string &RequestsPath, const FrontEndConfig &FC,
+              const std::string &DefTenant) {
   std::ifstream FileIn;
   std::istream *In = &std::cin;
   if (RequestsPath != "-") {
@@ -313,14 +342,10 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
     In = &FileIn;
   }
 
-  ServiceConfig SC;
-  SC.Workers = Workers;
-  SC.QueueCapacity = QueueCap;
-  SC.MaxRetainedBytes = MaxRetained;
-  SC.MaxCacheBytes = MaxCacheBytes;
-  if (ChaosSeed)
-    SC.Chaos = ChaosConfig::defaults(ChaosSeed);
-  Service S(SC);
+  // stdin serve is a compatibility transport over the same sharded
+  // dispatcher the socket front end uses: same routing, same wire
+  // documents, with the input line number as the transport seq.
+  ShardedService S(FC);
 
   // Compile failures reject every request identically; diagnose once on
   // stderr and make the batch exit nonzero.
@@ -329,9 +354,10 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
 
   // The CLI applies backpressure by keeping at most the queue capacity
   // in flight; responses print in submission order, one JSON per line.
-  std::deque<std::future<ServiceResponse>> InFlight;
+  std::deque<std::pair<uint64_t, std::future<ServiceResponse>>> InFlight;
   auto drainOne = [&] {
-    ServiceResponse R = InFlight.front().get();
+    ServiceResponse R = InFlight.front().second.get();
+    R.Seq = InFlight.front().first;
     InFlight.pop_front();
     if (R.Reject != RejectKind::None) {
       ++Rejected;
@@ -344,7 +370,7 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
     } else {
       ++Trapped;
     }
-    std::printf("%s\n", serviceResponseJson(R).c_str());
+    std::printf("%s\n", wireResponseJson(R).c_str());
   };
 
   std::string Line;
@@ -367,18 +393,19 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
       // one-JSON-per-request protocol as everything else.
       ++BadLines;
       ServiceResponse Bad;
+      Bad.Seq = LineNo;
       Bad.Tenant = R.Tenant;
       Bad.Reject = RejectKind::BadRequest;
       Bad.Error = "line " + std::to_string(LineNo) + ": " + ParseError;
-      std::printf("%s\n", serviceResponseJson(Bad).c_str());
+      std::printf("%s\n", wireResponseJson(Bad).c_str());
       continue;
     }
     case LineParse::Ok:
       break;
     }
-    if (InFlight.size() >= SC.QueueCapacity)
+    if (InFlight.size() >= FC.Shard.QueueCapacity)
       drainOne();
-    InFlight.push_back(S.submit(std::move(R)));
+    InFlight.emplace_back(LineNo, S.submit(std::move(R)));
   }
   while (!InFlight.empty())
     drainOne();
@@ -387,16 +414,121 @@ int serveMain(const std::string &Source, const PassConfig &DefConfig,
   ServiceStats ST = S.stats();
   std::fprintf(stderr,
                "[serve] requests=%llu ok=%llu traps=%llu rejected=%llu "
-               "bad-lines=%llu cache-hits=%llu compiles=%llu "
+               "bad-lines=%llu shards=%zu cache-hits=%llu compiles=%llu "
                "evictions=%llu trimmed=%lluB\n",
                (unsigned long long)ST.Submitted, (unsigned long long)OkCount,
                (unsigned long long)Trapped, (unsigned long long)Rejected,
-               (unsigned long long)BadLines,
+               (unsigned long long)BadLines, S.shardCount(),
                (unsigned long long)ST.CacheHits,
                (unsigned long long)ST.CacheCompiles,
                (unsigned long long)ST.CacheEvictions,
                (unsigned long long)ST.TrimmedBytes);
   return CompileFailed ? 1 : 0;
+}
+
+/// Self-pipe for signal-safe shutdown: the handler writes one byte; the
+/// main thread blocks on the read end.
+int SignalPipe[2] = {-1, -1};
+
+void onShutdownSignal(int) {
+  char B = 1;
+  ssize_t Ignored = write(SignalPipe[1], &B, 1);
+  (void)Ignored;
+}
+
+void printServiceStatsLine(const char *Tag, const ServiceStats &ST) {
+  std::fprintf(stderr,
+               "%s submitted=%llu executed=%llu traps=%llu rejected=%llu "
+               "cache-hits=%llu compiles=%llu evictions=%llu trimmed=%lluB\n",
+               Tag, (unsigned long long)ST.Submitted,
+               (unsigned long long)ST.Executed, (unsigned long long)ST.Traps,
+               (unsigned long long)(ST.RejectedQueueFull + ST.RejectedShedding +
+                                    ST.RejectedCompileError +
+                                    ST.RejectedRateLimited +
+                                    ST.RejectedTenantQuota +
+                                    ST.RejectedCircuitOpen +
+                                    ST.RejectedBadRequest),
+               (unsigned long long)ST.CacheHits,
+               (unsigned long long)ST.CacheCompiles,
+               (unsigned long long)ST.CacheEvictions,
+               (unsigned long long)ST.TrimmedBytes);
+}
+
+int listenMain(const std::string &Source, const PassConfig &DefConfig,
+               EngineKind DefEngine, const RunLimits &DefLimits,
+               const std::string &ListenAddr, const FrontEndConfig &FC,
+               const std::string &DefTenant, uint64_t MaxRequests) {
+  ServiceRequest Defaults;
+  Defaults.Tenant = DefTenant;
+  Defaults.Source = Source;
+  Defaults.Config = DefConfig;
+  Defaults.Engine = DefEngine;
+  Defaults.Limits = DefLimits;
+
+  ShardedService SS(FC);
+  Server Srv(SS, FC, std::move(Defaults));
+  std::string Err;
+  if (!Srv.listen(ListenAddr, &Err)) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n",
+                 ListenAddr.c_str(), Err.c_str());
+    return 1;
+  }
+  if (pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "error: cannot create signal pipe\n");
+    return 1;
+  }
+  std::signal(SIGINT, onShutdownSignal);
+  std::signal(SIGTERM, onShutdownSignal);
+  if (!Srv.start()) {
+    std::fprintf(stderr, "error: cannot start the event loop\n");
+    return 1;
+  }
+  // The banner is the contract for scripted clients: it carries the
+  // bound (possibly ephemeral) port and is flushed before any traffic.
+  std::fprintf(stderr,
+               "[listen] schema=%s backend=%s port=%u shards=%zu "
+               "workers-per-shard=%u max-frame=%zu\n",
+               kWireSchemaName, Poller::backendName(), Srv.port(),
+               SS.shardCount(), SS.shard(0).config().Workers,
+               FC.MaxFrameBytes);
+  std::fflush(stderr);
+
+  for (;;) {
+    pollfd PFd{};
+    PFd.fd = SignalPipe[0];
+    PFd.events = POLLIN;
+    int N = ::poll(&PFd, 1, 200);
+    if (N > 0)
+      break; // SIGINT/SIGTERM
+    if (MaxRequests && Srv.stats().FramesOut >= MaxRequests)
+      break;
+  }
+
+  Srv.stop();
+  SS.stop();
+
+  ServerStats NS = Srv.stats();
+  std::fprintf(stderr,
+               "[listen] conns=%llu refused=%llu closed=%llu idle-closed=%llu "
+               "frames-in=%llu frames-out=%llu bad-requests=%llu "
+               "protocol-errors=%llu truncated=%llu dropped-responses=%llu "
+               "bytes-in=%llu bytes-out=%llu\n",
+               (unsigned long long)NS.Accepted, (unsigned long long)NS.Refused,
+               (unsigned long long)NS.Closed,
+               (unsigned long long)NS.IdleClosed,
+               (unsigned long long)NS.FramesIn,
+               (unsigned long long)NS.FramesOut,
+               (unsigned long long)NS.BadRequests,
+               (unsigned long long)NS.ProtocolErrors,
+               (unsigned long long)NS.TruncatedFrames,
+               (unsigned long long)NS.DroppedResponses,
+               (unsigned long long)NS.BytesIn, (unsigned long long)NS.BytesOut);
+  printServiceStatsLine("[service]", SS.stats());
+  for (size_t I = 0; I != SS.shardCount(); ++I) {
+    std::string Tag = "[shard " + std::to_string(I) + "]";
+    printServiceStatsLine(Tag.c_str(), SS.shardStats(I));
+  }
+  return 0;
 }
 
 } // namespace
@@ -411,8 +543,11 @@ int main(int Argc, char **Argv) {
   uint64_t MaxHeapBytes = 0, FailAlloc = 0, Workers = 0, SharedArg = 0;
   bool Serve = false;
   std::string Requests = "-";
+  std::string Listen;
   uint64_t ServeWorkers = 1, QueueCap = 64, MaxRetained = 8u << 20;
-  uint64_t MaxCacheBytes = 0, ChaosSeed = 0;
+  uint64_t MaxCacheBytes = 0, ChaosSeed = 0, Shards = 1;
+  uint64_t MaxFrameBytes = 64 * 1024, IdleTimeoutMs = 0, MaxConns = 1024;
+  uint64_t MaxRequests = 0;
   std::string Tenant = "default";
   std::string SharedInput;
   std::vector<int64_t> SharedArgs;
@@ -451,14 +586,25 @@ int main(int Argc, char **Argv) {
       // handled below
     } else if (!std::strcmp(A, "--serve")) {
       Serve = true;
+    } else if (std::strncmp(A, "--listen=", 9) == 0) {
+      Listen = A + 9;
+      if (Listen.empty()) {
+        std::fprintf(stderr, "error: --listen= expects HOST:PORT\n");
+        return 1;
+      }
     } else if (std::strncmp(A, "--requests=", 11) == 0) {
       Requests = A + 11;
     } else if (parseCount(A, "--serve-workers=", ServeWorkers) ||
                parseCount(A, "--queue-cap=", QueueCap) ||
                parseCount(A, "--max-retained=", MaxRetained) ||
                parseCount(A, "--max-cache-bytes=", MaxCacheBytes) ||
-               parseCount(A, "--chaos-seed=", ChaosSeed)) {
-      // handled in serve mode below
+               parseCount(A, "--chaos-seed=", ChaosSeed) ||
+               parseCount(A, "--shards=", Shards) ||
+               parseCount(A, "--max-frame-bytes=", MaxFrameBytes) ||
+               parseCount(A, "--idle-timeout-ms=", IdleTimeoutMs) ||
+               parseCount(A, "--max-conns=", MaxConns) ||
+               parseCount(A, "--max-requests=", MaxRequests)) {
+      // handled in serve/listen mode below
     } else if (std::strncmp(A, "--tenant=", 9) == 0) {
       Tenant = A + 9;
       if (Tenant.empty()) {
@@ -496,12 +642,25 @@ int main(int Argc, char **Argv) {
   Buf << In.rdbuf();
   std::string Source = Buf.str();
 
-  if (Serve)
-    return serveMain(Source, Config, EC.Engine, Limits, Requests,
-                     static_cast<unsigned>(ServeWorkers),
-                     static_cast<size_t>(QueueCap),
-                     static_cast<size_t>(MaxRetained), Tenant,
-                     static_cast<size_t>(MaxCacheBytes), ChaosSeed);
+  if (Serve || !Listen.empty()) {
+    ServiceConfig SC;
+    SC.withWorkers(static_cast<unsigned>(ServeWorkers))
+        .withQueueCapacity(static_cast<size_t>(QueueCap))
+        .withMaxRetainedBytes(static_cast<size_t>(MaxRetained))
+        .withMaxCacheBytes(static_cast<size_t>(MaxCacheBytes));
+    if (ChaosSeed)
+      SC.withChaos(ChaosConfig::defaults(ChaosSeed));
+    FrontEndConfig FC;
+    FC.withShards(static_cast<unsigned>(Shards))
+        .withShard(SC)
+        .withMaxFrameBytes(static_cast<size_t>(MaxFrameBytes))
+        .withIdleTimeoutMs(IdleTimeoutMs)
+        .withMaxConnections(static_cast<size_t>(MaxConns));
+    if (!Listen.empty())
+      return listenMain(Source, Config, EC.Engine, Limits, Listen, FC,
+                        Tenant, MaxRequests);
+    return serveMain(Source, Config, EC.Engine, Limits, Requests, FC, Tenant);
+  }
 
   if (PassStats) {
     Program P;

@@ -29,19 +29,6 @@ Runner::Runner(Program &P, const PassConfig &Config, const EngineConfig &EC)
   finishSetup();
 }
 
-static EngineConfig configWithThreshold(size_t GcThresholdBytes) {
-  EngineConfig EC;
-  EC.GcThresholdBytes = GcThresholdBytes;
-  return EC;
-}
-
-Runner::Runner(std::string_view Source, const PassConfig &Config,
-               size_t GcThresholdBytes)
-    : Runner(Source, Config, configWithThreshold(GcThresholdBytes)) {}
-
-Runner::Runner(Program &P, const PassConfig &Config, size_t GcThresholdBytes)
-    : Runner(P, Config, configWithThreshold(GcThresholdBytes)) {}
-
 Runner::~Runner() = default;
 
 void Runner::finishSetup() {

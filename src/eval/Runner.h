@@ -49,14 +49,6 @@ public:
   /// pipeline on it.
   Runner(Program &P, const PassConfig &Config, const EngineConfig &EC = {});
 
-  /// Deprecated shims from before EngineConfig unified the knobs; the
-  /// threshold maps to EngineConfig::GcThresholdBytes.
-  [[deprecated("pass an EngineConfig instead")]]
-  Runner(std::string_view Source, const PassConfig &Config,
-         size_t GcThresholdBytes);
-  [[deprecated("pass an EngineConfig instead")]]
-  Runner(Program &P, const PassConfig &Config, size_t GcThresholdBytes);
-
   ~Runner();
   Runner(const Runner &) = delete;
   Runner &operator=(const Runner &) = delete;

@@ -1,0 +1,84 @@
+//===- net/Wire.cpp - perceus-wire-v1 framing -----------------------------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include <cctype>
+
+using namespace perceus;
+
+FrameStatus FrameDecoder::next(std::string &Payload) {
+  if (Poisoned)
+    return FrameStatus::Error;
+
+  if (Mode == FrameMode::Unknown) {
+    // Skip inter-frame whitespace (clients that send "\n{...}" or blank
+    // lines before committing to a mode), then latch on the first
+    // decisive byte. A length prefix's first byte is 0x00 for any sane
+    // MaxFrameBytes, which isspace() rejects, so the skip cannot eat it.
+    size_t I = 0;
+    while (I < Buf.size() && std::isspace(static_cast<unsigned char>(Buf[I])))
+      ++I;
+    Buf.erase(0, I);
+    if (Buf.empty())
+      return FrameStatus::NeedMore;
+    Mode = Buf[0] == '{' ? FrameMode::Line : FrameMode::Length;
+  }
+
+  if (Mode == FrameMode::Line) {
+    size_t Nl = Buf.find('\n');
+    if (Nl == std::string::npos) {
+      if (Buf.size() > MaxFrame)
+        return poison("line exceeds " + std::to_string(MaxFrame) + " bytes");
+      return FrameStatus::NeedMore;
+    }
+    if (Nl > MaxFrame)
+      return poison("line exceeds " + std::to_string(MaxFrame) + " bytes");
+    Payload.assign(Buf, 0, Nl);
+    if (!Payload.empty() && Payload.back() == '\r')
+      Payload.pop_back();
+    Buf.erase(0, Nl + 1);
+    // Blank lines between frames are tolerated, not frames themselves.
+    if (Payload.find_first_not_of(" \t\r") == std::string::npos)
+      return next(Payload);
+    return FrameStatus::Frame;
+  }
+
+  // Length-prefixed mode.
+  if (Buf.size() < 4)
+    return FrameStatus::NeedMore;
+  uint32_t Len = (uint32_t(uint8_t(Buf[0])) << 24) |
+                 (uint32_t(uint8_t(Buf[1])) << 16) |
+                 (uint32_t(uint8_t(Buf[2])) << 8) | uint32_t(uint8_t(Buf[3]));
+  if (Len == 0)
+    return poison("zero-length frame");
+  if (Len > MaxFrame)
+    return poison("frame declares " + std::to_string(Len) + " bytes, limit " +
+                  std::to_string(MaxFrame));
+  if (Buf.size() < 4 + size_t(Len))
+    return FrameStatus::NeedMore;
+  Payload.assign(Buf, 4, Len);
+  Buf.erase(0, 4 + size_t(Len));
+  return FrameStatus::Frame;
+}
+
+std::string perceus::encodeFrame(FrameMode Mode, std::string_view Payload) {
+  std::string Out;
+  if (Mode == FrameMode::Length) {
+    uint32_t Len = static_cast<uint32_t>(Payload.size());
+    Out.reserve(Payload.size() + 4);
+    Out += static_cast<char>((Len >> 24) & 0xff);
+    Out += static_cast<char>((Len >> 16) & 0xff);
+    Out += static_cast<char>((Len >> 8) & 0xff);
+    Out += static_cast<char>(Len & 0xff);
+    Out += Payload;
+  } else {
+    Out.reserve(Payload.size() + 1);
+    Out += Payload;
+    Out += '\n';
+  }
+  return Out;
+}

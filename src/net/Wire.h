@@ -1,0 +1,95 @@
+//===- net/Wire.h - perceus-wire-v1 framing -------------------------*- C++-*-===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-stream framing for the perceus-wire-v1 protocol. A connection
+/// speaks one of two framings, auto-detected from its first
+/// non-whitespace byte and fixed for the connection's lifetime:
+///
+///   * *line mode*: one JSON document per newline-terminated line (the
+///     same shape `perc --serve` reads on stdin) — the first byte is
+///     '{';
+///   * *length-prefixed mode*: a 4-byte big-endian payload length
+///     followed by that many bytes of JSON — unambiguous against line
+///     mode because MaxFrameBytes is far below 2^24, so the first
+///     prefix byte is always 0x00, never '{' (0x7b).
+///
+/// Responses are framed the same way the connection's requests were.
+/// The decoder is a pure push-parser over an internal buffer: feed()
+/// bytes as they arrive, then drain complete frames with next(). It
+/// never throws and never reads beyond its buffer; oversized frames
+/// (payload or line longer than MaxFrameBytes) surface as a structured
+/// error the server turns into a "bad-request" response before closing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PERCEUS_NET_WIRE_H
+#define PERCEUS_NET_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace perceus {
+
+/// How a connection frames its JSON documents.
+enum class FrameMode {
+  Unknown, ///< nothing decisive received yet
+  Line,    ///< newline-delimited JSON
+  Length,  ///< 4-byte big-endian length prefix + JSON payload
+};
+
+/// One next() outcome.
+enum class FrameStatus {
+  Frame,    ///< a complete payload was produced
+  NeedMore, ///< the buffer holds no complete frame; feed() more bytes
+  Error,    ///< protocol violation; error() describes it, close after
+};
+
+/// See the file comment. One decoder per connection; Mode latches on
+/// the first decisive byte.
+class FrameDecoder {
+public:
+  explicit FrameDecoder(size_t MaxFrameBytes) : MaxFrame(MaxFrameBytes) {}
+
+  /// Appends newly received bytes.
+  void feed(std::string_view Data) { Buf.append(Data.data(), Data.size()); }
+
+  /// Extracts the next complete JSON payload into \p Payload. Call
+  /// repeatedly until it stops returning Frame. After Error the decoder
+  /// is poisoned: every further call returns Error.
+  FrameStatus next(std::string &Payload);
+
+  FrameMode mode() const { return Mode; }
+  const std::string &error() const { return Err; }
+
+  /// True when undecoded bytes are buffered — at EOF that means the
+  /// peer disconnected mid-frame (a truncated length prefix or an
+  /// unterminated line).
+  bool hasPartial() const { return !Buf.empty(); }
+
+private:
+  FrameStatus poison(std::string Msg) {
+    Err = std::move(Msg);
+    Poisoned = true;
+    return FrameStatus::Error;
+  }
+
+  size_t MaxFrame;
+  FrameMode Mode = FrameMode::Unknown;
+  std::string Buf;
+  std::string Err;
+  bool Poisoned = false;
+};
+
+/// Wraps \p Payload in \p Mode's framing (appends '\n', or prepends the
+/// 4-byte big-endian length). Mode must not be Unknown.
+std::string encodeFrame(FrameMode Mode, std::string_view Payload);
+
+} // namespace perceus
+
+#endif // PERCEUS_NET_WIRE_H

@@ -193,13 +193,3 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
     Out.AllHeapsEmpty = Out.AllHeapsEmpty && WO.HeapEmpty;
   return Out;
 }
-
-ParallelOutcome ParallelRunner::run(const ParallelOptions &Opts) {
-  EngineConfig EC;
-  EC.Workers = Opts.Workers;
-  EC.SharedBuilder = Opts.SharedBuilder;
-  EC.SharedArgs = Opts.SharedArgs;
-  EC.Limits = Opts.Limits;
-  EC.GcThresholdBytes = Opts.GcThresholdBytes;
-  return run(EC, Opts.Entry, Opts.Args);
-}

@@ -53,19 +53,6 @@
 
 namespace perceus {
 
-/// Pre-EngineConfig bundle of per-run knobs; superseded by passing an
-/// EngineConfig (engine kind, workers, shared segment, limits) plus the
-/// entry/args directly to run(). Kept as a shim for old call sites.
-struct ParallelOptions {
-  unsigned Workers = 1;          ///< number of concurrent engines
-  std::string Entry = "main";    ///< entry function every worker runs
-  std::vector<Value> Args;       ///< per-worker arguments (immediates)
-  std::string SharedBuilder;     ///< optional shared-segment builder
-  std::vector<Value> SharedArgs; ///< builder arguments (immediates)
-  RunLimits Limits;              ///< applied to every worker
-  size_t GcThresholdBytes = 4u << 20; ///< per-worker GC threshold
-};
-
 /// One worker's results after join.
 struct WorkerOutcome {
   RunResult Run;         ///< the engine's run result (trap, checksum, rc)
@@ -109,11 +96,6 @@ public:
   /// and are not installed on worker heaps.
   ParallelOutcome run(const EngineConfig &EC, std::string_view Entry = "main",
                       std::vector<Value> Args = {});
-
-  /// Deprecated shim mapping the old options bundle onto an
-  /// EngineConfig; always runs the CEK engine, as before.
-  [[deprecated("pass an EngineConfig plus entry/args instead")]]
-  ParallelOutcome run(const ParallelOptions &Opts);
 
 private:
   PassConfig Config;

@@ -169,11 +169,17 @@ HeapStats diffStats(const HeapStats &After, const HeapStats &Before) {
 
 } // namespace
 
+unsigned perceus::resolveAutoParallelism(unsigned Requested, unsigned Max) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency(); // may be 0 (unknown)
+  return std::clamp(HW, 1u, Max);
+}
+
 Service::Service(const ServiceConfig &C)
     : Config(C), Governor(C.DefaultTenantPolicy),
       Breaker(C.BreakerTrapThreshold, C.BreakerCooldownMs) {
-  if (Config.Workers == 0)
-    Config.Workers = 1;
+  Config.Workers = resolveAutoParallelism(Config.Workers, /*Max=*/16);
   if (Config.QueueCapacity == 0)
     Config.QueueCapacity = 1;
   Workers.reserve(Config.Workers);
@@ -212,11 +218,11 @@ void Service::stop() {
   }
 }
 
-std::future<ServiceResponse> Service::submit(ServiceRequest R) {
+void Service::submitWith(ServiceRequest R, ResponseCallback Done) {
   Pending P;
   P.Req = std::move(R);
+  P.Done = std::move(Done);
   P.Enqueued = std::chrono::steady_clock::now();
-  std::future<ServiceResponse> Fut = P.Promise.get_future();
   Stats.Submitted.fetch_add(1, std::memory_order_relaxed);
 
   RejectKind Reject = RejectKind::None;
@@ -277,7 +283,7 @@ std::future<ServiceResponse> Service::submit(ServiceRequest R) {
   }
   if (Reject == RejectKind::None) {
     QueueCv.notify_one();
-    return Fut;
+    return;
   }
 
   ServiceResponse Resp;
@@ -310,7 +316,15 @@ std::future<ServiceResponse> Service::submit(ServiceRequest R) {
   }
   if (GovernorAdmitted) // breaker rejected after admission: release slot
     Governor.onOutcome(Resp.Tenant, Resp);
-  P.Promise.set_value(std::move(Resp));
+  P.Done(std::move(Resp));
+}
+
+std::future<ServiceResponse> Service::submit(ServiceRequest R) {
+  auto Prom = std::make_shared<std::promise<ServiceResponse>>();
+  std::future<ServiceResponse> Fut = Prom->get_future();
+  submitWith(std::move(R), [Prom](ServiceResponse Resp) {
+    Prom->set_value(std::move(Resp));
+  });
   return Fut;
 }
 
@@ -497,7 +511,28 @@ void Service::finishRequest(Pending &P, ServiceResponse Resp) {
                                    std::memory_order_relaxed);
   Stats.RunMicrosTotal.fetch_add(toMicros(Resp.RunSeconds),
                                  std::memory_order_relaxed);
-  P.Promise.set_value(std::move(Resp));
+  P.Done(std::move(Resp));
+}
+
+void perceus::accumulate(ServiceStats &Into, const ServiceStats &From) {
+  Into.Submitted += From.Submitted;
+  Into.Executed += From.Executed;
+  Into.RejectedQueueFull += From.RejectedQueueFull;
+  Into.RejectedShedding += From.RejectedShedding;
+  Into.RejectedCompileError += From.RejectedCompileError;
+  Into.RejectedRateLimited += From.RejectedRateLimited;
+  Into.RejectedTenantQuota += From.RejectedTenantQuota;
+  Into.RejectedCircuitOpen += From.RejectedCircuitOpen;
+  Into.RejectedBadRequest += From.RejectedBadRequest;
+  Into.Traps += From.Traps;
+  Into.CacheHits += From.CacheHits;
+  Into.CacheCompiles += From.CacheCompiles;
+  Into.CacheEvictions += From.CacheEvictions;
+  Into.CacheBytes += From.CacheBytes;
+  Into.ChaosInjected += From.ChaosInjected;
+  Into.TrimmedBytes += From.TrimmedBytes;
+  Into.QueueSecondsTotal += From.QueueSecondsTotal;
+  Into.RunSecondsTotal += From.RunSecondsTotal;
 }
 
 void Service::workerLoop(unsigned Index) {

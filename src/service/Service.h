@@ -118,7 +118,12 @@ struct ServiceRequest {
 
 /// Everything the service reports about one request.
 struct ServiceResponse {
-  uint64_t Id = 0;        ///< submission order, 1-based
+  uint64_t Id = 0;        ///< submission order, 1-based, per shard
+  uint64_t Seq = 0;       ///< transport sequence: per-connection frame
+                          ///< index (socket) or line number (stdin serve);
+                          ///< 0 outside a transport
+  unsigned Shard = 0;     ///< service shard that handled the request
+                          ///< (0 on an unsharded Service)
   std::string Tenant;     ///< echoed from the request
   bool Executed = false;  ///< an engine ran (Run is meaningful)
   RejectKind Reject = RejectKind::None;
@@ -135,11 +140,24 @@ struct ServiceResponse {
   uint64_t RcCalls = 0;   ///< telemetry: RC calls the sink observed
 };
 
-/// Service-wide tuning. The admission-policy fields all default to
-/// "off", so a default-constructed service behaves exactly like the
-/// single-tenant one it replaces.
+/// Resolves a 0 = "auto" parallelism knob to the hardware:
+/// std::thread::hardware_concurrency() clamped to [1, Max] (the clamp
+/// keeps a big machine from spawning an absurd pool by default, and a
+/// hardware_concurrency() of 0 — unknown — resolves to 1). Non-zero
+/// values pass through unchanged.
+unsigned resolveAutoParallelism(unsigned Requested, unsigned Max);
+
+/// Shard-level tuning: everything one `Service` shard owns — its worker
+/// pool, queue, artifact cache, governor, breakers, and chaos plan. The
+/// front-end-level knobs (shard count, framing, connection caps) live in
+/// `FrontEndConfig` (net/ShardedService.h). The admission-policy fields
+/// all default to "off", so a default-constructed service behaves
+/// exactly like the single-tenant one it replaces.
 struct ServiceConfig {
-  unsigned Workers = 1;        ///< worker threads (min 1)
+  /// Worker threads. 0 = one per hardware thread (hardware_concurrency
+  /// clamped to [1, 16]); the default stays 1 so existing callers see no
+  /// behavior change unless they ask for auto sizing explicitly.
+  unsigned Workers = 1;
   size_t QueueCapacity = 64;   ///< bounded queue; 0 means 1
   /// Trim a worker heap back to one warm slab whenever it retains more
   /// than this between requests (0 = trim after every request).
@@ -157,6 +175,42 @@ struct ServiceConfig {
   uint64_t BreakerCooldownMs = 250;
   /// Seeded fault injection at every service boundary; Seed 0 = off.
   ChaosConfig Chaos;
+
+  /// Fluent builders, mirroring the EngineConfig idiom: each returns
+  /// *this so a config reads as one expression at the construction site.
+  ServiceConfig &withWorkers(unsigned W) {
+    Workers = W;
+    return *this;
+  }
+  ServiceConfig &withQueueCapacity(size_t N) {
+    QueueCapacity = N;
+    return *this;
+  }
+  ServiceConfig &withMaxRetainedBytes(size_t B) {
+    MaxRetainedBytes = B;
+    return *this;
+  }
+  ServiceConfig &withGcThreshold(size_t B) {
+    GcThresholdBytes = B;
+    return *this;
+  }
+  ServiceConfig &withMaxCacheBytes(size_t B) {
+    MaxCacheBytes = B;
+    return *this;
+  }
+  ServiceConfig &withDefaultTenantPolicy(const TenantPolicy &P) {
+    DefaultTenantPolicy = P;
+    return *this;
+  }
+  ServiceConfig &withBreaker(unsigned TrapThreshold, uint64_t CooldownMs = 250) {
+    BreakerTrapThreshold = TrapThreshold;
+    BreakerCooldownMs = CooldownMs;
+    return *this;
+  }
+  ServiceConfig &withChaos(const ChaosConfig &C) {
+    Chaos = C;
+    return *this;
+  }
 };
 
 /// Aggregate counters across the service lifetime. A point-in-time
@@ -183,6 +237,11 @@ struct ServiceStats {
   double RunSecondsTotal = 0;
 };
 
+/// Folds \p From into \p Into counter-by-counter (CacheBytes, a gauge,
+/// sums too: the aggregate is "bytes cached across all shards"). This is
+/// how ShardedService::stats() assembles its fleet-wide view.
+void accumulate(ServiceStats &Into, const ServiceStats &From);
+
 /// See the file comment.
 class Service {
 public:
@@ -191,9 +250,22 @@ public:
   Service(const Service &) = delete;
   Service &operator=(const Service &) = delete;
 
+  /// Completion callback for submitWith(). Runs exactly once per
+  /// request, on the worker thread that finished it — or synchronously
+  /// on the submitting thread for immediate rejections. Event-loop
+  /// callers (the net front end) must therefore hand off to their own
+  /// thread rather than block in the callback.
+  using ResponseCallback = std::function<void(ServiceResponse)>;
+
+  /// The submission primitive: enqueues a request and invokes \p Done
+  /// with the structured response. Never throws the response away — a
+  /// rejected, shed, or stop()-drained request still reaches \p Done.
+  void submitWith(ServiceRequest R, ResponseCallback Done);
+
   /// Enqueues a request. The future resolves when a worker finishes it
   /// (or immediately, with a structured rejection, when admission
-  /// refuses it or the service is stopping).
+  /// refuses it or the service is stopping). A convenience over
+  /// submitWith().
   std::future<ServiceResponse> submit(ServiceRequest R);
 
   /// submit() + get(): the blocking convenience for tests and the CLI.
@@ -224,7 +296,7 @@ public:
 private:
   struct Pending {
     ServiceRequest Req;
-    std::promise<ServiceResponse> Promise;
+    ResponseCallback Done;
     uint64_t Id = 0;
     std::string Key; ///< cache key, computed once at submit
     ChaosPlan Plan;  ///< per-request chaos, derived from (seed, id)

@@ -18,6 +18,8 @@ namespace perceus {
 void writeServiceObjectJson(JsonWriter &W, const ServiceResponse &R) {
   W.beginObject()
       .member("id", R.Id)
+      .member("seq", R.Seq)
+      .member("shard", uint64_t(R.Shard))
       .member("tenant", std::string_view(R.Tenant))
       .member("status", rejectKindName(R.Reject))
       .member("executed", R.Executed)
@@ -33,9 +35,9 @@ void writeServiceObjectJson(JsonWriter &W, const ServiceResponse &R) {
       .endObject();
 }
 
-std::string serviceResponseJson(const ServiceResponse &R) {
+std::string wireResponseJson(const ServiceResponse &R) {
   JsonWriter W;
-  W.beginObject().member("schema", "perceus-stats-v1");
+  W.beginObject().member("schema", kWireSchemaName);
   W.key("service");
   writeServiceObjectJson(W, R);
   W.key("heap");
@@ -258,6 +260,15 @@ bool parseServiceRequestJson(std::string_view Text, ServiceRequest &R,
       if (!wantString(R.Entry))
         return false;
       HaveEntry = true;
+    } else if (Key == "schema") {
+      // Version negotiation: an explicit schema marker must name the one
+      // wire version this server speaks; absence means "current".
+      std::string Name;
+      if (!wantString(Name))
+        return false;
+      if (Name != kWireSchemaName)
+        return P.fail("unsupported schema \"" + Name + "\" (this server speaks " +
+                      kWireSchemaName + ")");
     } else if (Key == "tenant") {
       if (!wantString(R.Tenant))
         return false;

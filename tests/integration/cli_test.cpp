@@ -139,6 +139,44 @@ TEST(PercCli, ServeModeMalformedLinesGetStructuredBadRequestJson) {
   EXPECT_TRUE(SawUnknownOption);
 }
 
+TEST(PercCli, ServeModeSpeaksTheVersionedWireSchema) {
+  // stdin serve is a transport over the same dispatcher as --listen:
+  // every response line is a perceus-wire-v1 document whose seq is the
+  // input line number and whose shard is stamped by the router.
+  int Exit = -1;
+  std::vector<std::string> Lines =
+      runPercServe(prog("hello.perc") + " --serve --shards=2",
+                   "{\"entry\":\"main\",\"args\":[5]}\n"
+                   "{\"schema\":\"perceus-wire-v1\",\"entry\":\"main\","
+                   "\"args\":[6]}\n"
+                   "{\"schema\":\"perceus-wire-v0\",\"entry\":\"main\"}\n",
+                   Exit);
+  EXPECT_EQ(Exit, 0);
+  ASSERT_EQ(Lines.size(), 3u);
+  // Bad lines are answered immediately while valid ones drain later, so
+  // scan rather than assume order.
+  bool SawSeq1Ok = false, SawSeq2Ok = false, SawSchemaReject = false;
+  for (const std::string &L : Lines) {
+    EXPECT_NE(L.find("\"schema\":\"perceus-wire-v1\""), std::string::npos)
+        << L;
+    EXPECT_NE(L.find("\"shard\":"), std::string::npos) << L;
+    if (L.find("\"seq\":1") != std::string::npos &&
+        L.find("\"status\":\"ok\"") != std::string::npos)
+      SawSeq1Ok = true;
+    if (L.find("\"seq\":2") != std::string::npos &&
+        L.find("\"status\":\"ok\"") != std::string::npos)
+      SawSeq2Ok = true;
+    // A request naming a future schema version is a structured reject.
+    if (L.find("\"seq\":3") != std::string::npos &&
+        L.find("\"status\":\"bad-request\"") != std::string::npos &&
+        L.find("unsupported schema") != std::string::npos)
+      SawSchemaReject = true;
+  }
+  EXPECT_TRUE(SawSeq1Ok);
+  EXPECT_TRUE(SawSeq2Ok);
+  EXPECT_TRUE(SawSchemaReject);
+}
+
 TEST(PercCli, ServeModeThreadsTenantThroughResponses) {
   int Exit = -1;
   std::vector<std::string> Lines =

@@ -1,0 +1,168 @@
+//===- tests/net/wire_test.cpp - perceus-wire-v1 framing tests -----------===//
+//
+// Part of the perceus-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FrameDecoder unit tests: mode auto-detection, byte-at-a-time
+/// resilience, oversized/zero-length poisoning, and the wire-document
+/// shape the schema-bearing parser accepts and rejects.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+#include "service/Service.h"
+#include "service/ServiceJson.h"
+#include "support/JsonWriter.h"
+
+#include "gtest/gtest.h"
+
+using namespace perceus;
+
+namespace {
+
+std::string lengthFrame(std::string_view Payload) {
+  return encodeFrame(FrameMode::Length, Payload);
+}
+
+TEST(FrameDecoder, DetectsLineModeFromLeftBrace) {
+  FrameDecoder D(1024);
+  D.feed("{\"entry\":\"main\"}\n");
+  std::string P;
+  ASSERT_EQ(D.next(P), FrameStatus::Frame);
+  EXPECT_EQ(D.mode(), FrameMode::Line);
+  EXPECT_EQ(P, "{\"entry\":\"main\"}");
+  EXPECT_EQ(D.next(P), FrameStatus::NeedMore);
+  EXPECT_FALSE(D.hasPartial());
+}
+
+TEST(FrameDecoder, SkipsLeadingWhitespaceBeforeDetecting) {
+  FrameDecoder D(1024);
+  D.feed("  \r\n\t {\"a\":1}\n");
+  std::string P;
+  ASSERT_EQ(D.next(P), FrameStatus::Frame);
+  EXPECT_EQ(D.mode(), FrameMode::Line);
+  EXPECT_EQ(P, "{\"a\":1}");
+}
+
+TEST(FrameDecoder, StripsCarriageReturnInLineMode) {
+  FrameDecoder D(1024);
+  D.feed("{\"a\":1}\r\n");
+  std::string P;
+  ASSERT_EQ(D.next(P), FrameStatus::Frame);
+  EXPECT_EQ(P, "{\"a\":1}");
+}
+
+TEST(FrameDecoder, DetectsLengthModeFromPrefixByte) {
+  FrameDecoder D(1024);
+  D.feed(lengthFrame("{\"b\":2}"));
+  std::string P;
+  ASSERT_EQ(D.next(P), FrameStatus::Frame);
+  EXPECT_EQ(D.mode(), FrameMode::Length);
+  EXPECT_EQ(P, "{\"b\":2}");
+}
+
+TEST(FrameDecoder, ReassemblesByteAtATimeInBothModes) {
+  for (FrameMode M : {FrameMode::Line, FrameMode::Length}) {
+    FrameDecoder D(1024);
+    std::string Wire = encodeFrame(M, "{\"x\":123}") +
+                       encodeFrame(M, "{\"y\":456}");
+    std::string P;
+    std::vector<std::string> Got;
+    for (char C : Wire) {
+      D.feed(std::string_view(&C, 1));
+      while (D.next(P) == FrameStatus::Frame)
+        Got.push_back(P);
+    }
+    ASSERT_EQ(Got.size(), 2u) << "mode " << int(M);
+    EXPECT_EQ(Got[0], "{\"x\":123}");
+    EXPECT_EQ(Got[1], "{\"y\":456}");
+    EXPECT_FALSE(D.hasPartial());
+  }
+}
+
+TEST(FrameDecoder, TruncatedLengthPrefixIsPartialNotError) {
+  FrameDecoder D(1024);
+  D.feed(std::string("\x00\x00", 2)); // half a prefix, then disconnect
+  std::string P;
+  EXPECT_EQ(D.next(P), FrameStatus::NeedMore);
+  EXPECT_TRUE(D.hasPartial());
+}
+
+TEST(FrameDecoder, OversizedLengthFramePoisons) {
+  FrameDecoder D(16);
+  std::string Wire = lengthFrame("{\"k\":\"aaaaaaaaaaaaaaaaaaaa\"}");
+  D.feed(Wire);
+  std::string P;
+  ASSERT_EQ(D.next(P), FrameStatus::Error);
+  EXPECT_NE(D.error().find("limit"), std::string::npos);
+  // Poisoned for good: even a well-formed follow-up frame is refused.
+  D.feed(lengthFrame("{\"a\":1}"));
+  EXPECT_EQ(D.next(P), FrameStatus::Error);
+}
+
+TEST(FrameDecoder, OversizedLinePoisonsEvenWithoutNewline) {
+  FrameDecoder D(8);
+  D.feed("{\"aaaaaaaaaaaaaaaa\""); // no newline yet, already over budget
+  std::string P;
+  EXPECT_EQ(D.next(P), FrameStatus::Error);
+  EXPECT_NE(D.error().find("exceeds"), std::string::npos);
+}
+
+TEST(FrameDecoder, ZeroLengthFramePoisons) {
+  FrameDecoder D(1024);
+  D.feed(std::string("\x00\x00\x00\x00", 4));
+  std::string P;
+  EXPECT_EQ(D.next(P), FrameStatus::Error);
+}
+
+TEST(FrameDecoder, GarbageFirstByteReadsAsLengthModeAndPoisons) {
+  // A stream that is neither JSON nor a sane prefix: byte 0x7f declares
+  // a ~2GB frame, which the limit rejects immediately.
+  FrameDecoder D(64 * 1024);
+  D.feed("\x7fGARBAGE");
+  std::string P;
+  EXPECT_EQ(D.mode(), FrameMode::Unknown);
+  EXPECT_EQ(D.next(P), FrameStatus::Error);
+  EXPECT_EQ(D.mode(), FrameMode::Length);
+}
+
+TEST(WireJson, ResponseRoundTripsThroughTheDecoder) {
+  ServiceResponse R;
+  R.Id = 7;
+  R.Seq = 3;
+  R.Shard = 2;
+  R.Tenant = "acme";
+  std::string Doc = wireResponseJson(R);
+  for (FrameMode M : {FrameMode::Line, FrameMode::Length}) {
+    FrameDecoder D(1 << 20);
+    D.feed(encodeFrame(M, Doc));
+    std::string P;
+    ASSERT_EQ(D.next(P), FrameStatus::Frame);
+    EXPECT_EQ(P, Doc);
+  }
+  std::optional<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(V.has_value());
+  const JsonValue *Schema = V->find("schema", JsonValue::Kind::String);
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->Str, kWireSchemaName);
+  const JsonValue *Svc = V->find("service", JsonValue::Kind::Object);
+  ASSERT_NE(Svc, nullptr);
+  EXPECT_EQ(Svc->find("seq", JsonValue::Kind::Number)->Num, 3);
+  EXPECT_EQ(Svc->find("shard", JsonValue::Kind::Number)->Num, 2);
+}
+
+TEST(WireJson, RequestParserAcceptsTheSchemaKeyAndRejectsOthers) {
+  ServiceRequest R;
+  std::string Err;
+  EXPECT_TRUE(parseServiceRequestJson(
+      "{\"schema\":\"perceus-wire-v1\",\"entry\":\"main\"}", R, Err))
+      << Err;
+  ServiceRequest R2;
+  EXPECT_FALSE(parseServiceRequestJson(
+      "{\"schema\":\"perceus-wire-v2\",\"entry\":\"main\"}", R2, Err));
+  EXPECT_NE(Err.find("unsupported schema"), std::string::npos);
+}
+
+} // namespace

@@ -227,27 +227,6 @@ TEST(ParallelRunner, EnginesAgreeAcrossRunsOfOneRunner) {
   EXPECT_TRUE(B.AllHeapsEmpty);
 }
 
-// The deprecated options-bundle overload must keep working while call
-// sites migrate; it always selects the CEK engine.
-TEST(ParallelRunner, DeprecatedOptionsOverloadStillRuns) {
-  ParallelRunner PR(nqueensSource(), PassConfig::perceusFull());
-  ASSERT_TRUE(PR.ok()) << PR.diagnostics().str();
-  ParallelOptions O;
-  O.Workers = 2;
-  O.Entry = "bench_nqueens";
-  O.Args = ints({6});
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  ParallelOutcome Out = PR.run(O);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  ASSERT_TRUE(Out.Ok) << Out.Error;
-  EXPECT_EQ(Out.Workers[0].Run.Result.Int, 4);
-}
-
 INSTANTIATE_TEST_SUITE_P(Engines, ParallelRunnerTest,
                          ::testing::Values(EngineKind::Cek, EngineKind::Vm),
                          [](const ::testing::TestParamInfo<EngineKind> &I) {

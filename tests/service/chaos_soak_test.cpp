@@ -23,6 +23,7 @@
 
 #include "service/Service.h"
 
+#include "net/ShardedService.h"
 #include "programs/Programs.h"
 
 #include <gtest/gtest.h>
@@ -164,6 +165,83 @@ TEST(ChaosSoak, ThousandsOfChaoticRequestsAllResolveStructurally) {
     EXPECT_GT(C.Executed, 0u) << Tenants[T];
   }
   EXPECT_EQ(S.tenants().size(), 4u);
+}
+
+/// The same soak pressure through the sharded dispatcher the socket
+/// front end uses: four shards, chaos armed on every one, the
+/// (tenant, source) hash spreading the mix. The invariants do not
+/// weaken under sharding — every request resolves structurally, every
+/// executed heap comes back empty — and the aggregated stats() view
+/// must exactly equal the per-shard sum while routing stays stable.
+TEST(ChaosSoak, ShardedDispatcherKeepsTheInvariantsAcrossShards) {
+  SourceCase Cases[3] = {Sources[0], Sources[1], Sources[2]};
+  Cases[0].Source = mapSumSource();
+  Cases[1].Source = rbtreeSource();
+  Cases[2].Source = derivSource();
+
+  FrontEndConfig FC;
+  FC.withShards(4).withShard(ServiceConfig{}
+                                 .withWorkers(1)
+                                 .withQueueCapacity(128)
+                                 .withMaxRetainedBytes(1u << 20)
+                                 .withBreaker(5, 10)
+                                 .withChaos(ChaosConfig::defaults(97)));
+  ShardedService SS(FC);
+  ASSERT_EQ(SS.shardCount(), 4u);
+
+  constexpr size_t Total = 1536, BatchSize = 64;
+  uint64_t Executed = 0, Rejected = 0;
+  for (size_t Base = 0; Base != Total; Base += BatchSize) {
+    std::vector<std::pair<size_t, std::future<ServiceResponse>>> Futs;
+    for (size_t I = Base; I != Base + BatchSize; ++I) {
+      const SourceCase &C = Cases[I % 3];
+      ServiceRequest R;
+      R.Tenant = Tenants[I % 4];
+      R.Source = C.Source;
+      R.Entry = C.Entry;
+      R.Engine = I % 2 ? EngineKind::Vm : EngineKind::Cek;
+      R.Args = {Value::makeInt(C.Arg)};
+      size_t Want = SS.shardFor(R.Tenant, R.Source);
+      Futs.emplace_back(Want, SS.submit(std::move(R)));
+    }
+    for (auto &[Want, Fut] : Futs) {
+      ServiceResponse R = Fut.get();
+      SCOPED_TRACE(testing::Message() << "tenant=" << R.Tenant);
+      EXPECT_EQ(R.Shard, Want); // routing is stable and stamped
+      if (R.Executed) {
+        ++Executed;
+        EXPECT_TRUE(R.HeapEmpty);
+        EXPECT_EQ(R.Heap.LiveCells, 0u);
+        EXPECT_LE(R.RetainedBytes, FC.Shard.MaxRetainedBytes);
+      } else {
+        ++Rejected;
+        EXPECT_NE(R.Reject, RejectKind::None);
+      }
+    }
+  }
+
+  ServiceStats Agg = SS.stats();
+  EXPECT_EQ(Agg.Submitted, Total);
+  EXPECT_EQ(Executed + Rejected, Total);
+  EXPECT_GT(Executed, Total / 2);
+  EXPECT_GT(Agg.ChaosInjected, 0u);
+
+  // Aggregation is exactly the per-shard sum, and the mix actually
+  // spread: with 4 tenants x 3 sources, at least two shards saw work.
+  ServiceStats Sum;
+  unsigned Active = 0;
+  for (size_t I = 0; I != SS.shardCount(); ++I) {
+    ServiceStats ST = SS.shardStats(I);
+    accumulate(Sum, ST);
+    if (ST.Submitted)
+      ++Active;
+  }
+  EXPECT_EQ(Sum.Submitted, Agg.Submitted);
+  EXPECT_EQ(Sum.Executed, Agg.Executed);
+  EXPECT_EQ(Sum.Traps, Agg.Traps);
+  EXPECT_EQ(Sum.CacheCompiles, Agg.CacheCompiles);
+  EXPECT_GE(Active, 2u);
+  SS.stop();
 }
 
 /// The same chaos schedule twice produces the same per-request plans:

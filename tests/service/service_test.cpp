@@ -252,7 +252,7 @@ TEST(Service, FaultInjectedOomIsCleanlyUnwound) {
   }
 }
 
-TEST(ServiceJson, ResponsesSerializeToTheStatsSchema) {
+TEST(ServiceJson, ResponsesSerializeToTheWireSchema) {
   Service S;
   Session Sess(S, nqueensSource());
   RunLimits L;
@@ -261,18 +261,18 @@ TEST(ServiceJson, ResponsesSerializeToTheStatsSchema) {
   ASSERT_TRUE(R.Executed);
   ASSERT_EQ(R.Run.Trap, TrapKind::Deadline);
 
-  std::string Text = serviceResponseJson(R);
+  std::string Text = wireResponseJson(R);
   std::string Err;
   auto Doc = parseJson(Text, &Err);
   ASSERT_TRUE(Doc) << Err;
   using K = JsonValue::Kind;
   const JsonValue *Schema = Doc->find("schema", K::String);
   ASSERT_NE(Schema, nullptr);
-  EXPECT_EQ(Schema->Str, "perceus-stats-v1");
+  EXPECT_EQ(Schema->Str, "perceus-wire-v1");
   const JsonValue *Svc = Doc->find("service", K::Object);
   ASSERT_NE(Svc, nullptr);
   for (const char *Key : {"queue_ms", "run_ms", "retained_bytes", "worker",
-                          "id", "rc_calls"})
+                          "id", "seq", "shard", "rc_calls"})
     EXPECT_NE(Svc->find(Key, K::Number), nullptr) << Key;
   for (const char *Key : {"executed", "cache_hit", "heap_empty"})
     EXPECT_NE(Svc->find(Key, K::Bool), nullptr) << Key;
@@ -282,6 +282,34 @@ TEST(ServiceJson, ResponsesSerializeToTheStatsSchema) {
   ASSERT_NE(Run, nullptr);
   EXPECT_EQ(Run->find("trap", K::String)->Str, "deadline");
   EXPECT_NE(Doc->find("heap", K::Object), nullptr);
+}
+
+TEST(ServiceJson, WireStatusVocabularyIsClosedAndRoundTrips) {
+  // Every RejectKind serializes to one of the pinned wire statuses —
+  // the same closed set the bench validator accepts — and rejections
+  // always carry seq/shard/retry_after_ms so clients can back off
+  // without parsing error text.
+  using K = JsonValue::Kind;
+  const char *Want[] = {"ok",           "queue-full",   "shedding",
+                        "compile-error", "rate-limited", "tenant-quota",
+                        "circuit-open",  "bad-request"};
+  for (uint8_t I = 0; I != 8; ++I) {
+    ServiceResponse R;
+    R.Reject = static_cast<RejectKind>(I);
+    R.Seq = 9;
+    R.Shard = 1;
+    R.RetryAfterMs = I >= 4 ? 25 : 0;
+    EXPECT_STREQ(rejectKindName(R.Reject), Want[I]);
+    auto Doc = parseJson(wireResponseJson(R));
+    ASSERT_TRUE(Doc) << Want[I];
+    const JsonValue *Svc = Doc->find("service", K::Object);
+    ASSERT_NE(Svc, nullptr);
+    EXPECT_EQ(Svc->find("status", K::String)->Str, Want[I]);
+    EXPECT_EQ(Svc->find("seq", K::Number)->Num, 9);
+    EXPECT_EQ(Svc->find("shard", K::Number)->Num, 1);
+    EXPECT_EQ(Svc->find("retry_after_ms", K::Number)->Num,
+              I >= 4 ? 25 : 0);
+  }
 }
 
 } // namespace

@@ -364,4 +364,40 @@ TEST(StatsJson, OverloadRowObjectIsValidated) {
   EXPECT_NE(bench::validateBenchJson(BadType), "");
 }
 
+TEST(StatsJson, ShardRowObjectIsValidated) {
+  // bench_net rows carry one per-shard isolation object each; shape and
+  // types are pinned like the other row objects.
+  bench::Measurement M;
+  M.Ran = true;
+  M.Shard.Present = true;
+  M.Shard.Shard = 2;
+  M.Shard.Requests = 480;
+  M.Shard.Executed = 478;
+  M.Shard.CacheHits = 477;
+  M.Shard.CacheCompiles = 1;
+  M.Shard.CacheEvictions = 0;
+  M.Shard.Sheds = 2;
+  M.Shard.Qps = 120.5;
+  bench::BenchReport Report("net", 1.0);
+  Report.add("shard-2", "4shard", M);
+  std::string Doc = Report.json();
+  EXPECT_EQ(bench::validateBenchJson(Doc), "");
+  ASSERT_NE(Doc.find("\"shard\""), std::string::npos);
+
+  // Every shard key is required once the object is present.
+  std::string Missing = Doc;
+  size_t Pos = Missing.find("\"cache_compiles\"");
+  ASSERT_NE(Pos, std::string::npos);
+  Missing.replace(Pos, std::strlen("\"cache_compiles\""),
+                  "\"cache_compile\"");
+  EXPECT_NE(bench::validateBenchJson(Missing), "");
+
+  // Wrong type: rejected.
+  std::string BadType = Doc;
+  Pos = BadType.find("\"qps\":120.5");
+  ASSERT_NE(Pos, std::string::npos);
+  BadType.replace(Pos, std::strlen("\"qps\":120.5"), "\"qps\":\"fast\"");
+  EXPECT_NE(bench::validateBenchJson(BadType), "");
+}
+
 } // namespace
