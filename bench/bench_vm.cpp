@@ -18,8 +18,10 @@
 ///
 ///   bench_vm [--scale=X] [--reps=N] [--json=PATH | --no-json]
 ///
-/// Writes BENCH_vm.json ("perceus-bench-v1"; config = cek | vm) and
-/// prints the per-benchmark speedup plus the geometric mean.
+/// Writes BENCH_vm.json ("perceus-bench-v1"; config = cek | vm-nopeep |
+/// vm) and prints the per-benchmark speedup plus the geometric mean —
+/// the vm-nopeep rows isolate the superinstruction/RC-elision tier from
+/// the flattening itself.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,13 +43,11 @@ uint64_t parseReps(int Argc, char **Argv, uint64_t Default) {
 
 /// Best-of-N wall clock; the stats come from the last rep (they are
 /// identical across reps by determinism).
-Measurement measureBest(const BenchProgram &Prog, EngineKind Engine,
+Measurement measureBest(const BenchProgram &Prog, const EngineConfig &EC,
                         uint64_t Reps) {
   Measurement Best;
   for (uint64_t I = 0; I != Reps; ++I) {
-    Measurement M =
-        measure(Prog, PassConfig::perceusFull(),
-                EngineConfig{}.withEngine(Engine));
+    Measurement M = measure(Prog, PassConfig::perceusFull(), EC);
     if (!M.Ran)
       return M;
     if (!Best.Ran || M.Seconds < Best.Seconds)
@@ -87,30 +87,43 @@ int main(int Argc, char **Argv) {
   std::printf("Engine comparison: CEK tree-walker vs bytecode VM "
               "(perceus config, --scale=%.2f, best of %llu)\n\n",
               Scale, (unsigned long long)Reps);
-  std::printf("%-12s %12s %12s %10s\n", "benchmark", "cek [s]", "vm [s]",
-              "speedup");
+  std::printf("%-12s %12s %12s %12s %10s %10s\n", "benchmark", "cek [s]",
+              "vm-raw [s]", "vm [s]", "vs cek", "vs raw");
 
-  double LogSum = 0;
+  double LogSum = 0, RawLogSum = 0;
   size_t N = 0;
   bool Parity = true;
   for (const BenchProgram &P : Programs) {
-    Measurement Cek = measureBest(P, EngineKind::Cek, Reps);
-    Measurement Vm = measureBest(P, EngineKind::Vm, Reps);
-    if (!Cek.Ran || !Vm.Ran) {
+    Measurement Cek =
+        measureBest(P, EngineConfig{}.withEngine(EngineKind::Cek), Reps);
+    // The raw VM row pins what the peephole tier itself buys, holding
+    // everything else (compiler, heap, dispatch loop) constant.
+    Measurement Raw = measureBest(
+        P, EngineConfig{}.withEngine(EngineKind::Vm).withPeephole(false),
+        Reps);
+    Measurement Vm =
+        measureBest(P, EngineConfig{}.withEngine(EngineKind::Vm), Reps);
+    if (!Cek.Ran || !Raw.Ran || !Vm.Ran) {
       std::fprintf(stderr, "%s failed to run\n", P.Name);
       return 1;
     }
     Parity = statsMatch(P, Cek, Vm) && Parity;
+    Parity = statsMatch(P, Cek, Raw) && Parity;
     Report.add(P.Name, "cek", Cek);
+    Report.add(P.Name, "vm-nopeep", Raw);
     Report.add(P.Name, "vm", Vm);
     double Speedup = Cek.Seconds / Vm.Seconds;
+    double RawSpeedup = Raw.Seconds / Vm.Seconds;
     LogSum += std::log(Speedup);
+    RawLogSum += std::log(RawSpeedup);
     ++N;
-    std::printf("%-12s %12.4f %12.4f %9.2fx\n", P.Name, Cek.Seconds,
-                Vm.Seconds, Speedup);
+    std::printf("%-12s %12.4f %12.4f %12.4f %9.2fx %9.2fx\n", P.Name,
+                Cek.Seconds, Raw.Seconds, Vm.Seconds, Speedup, RawSpeedup);
   }
   double Geomean = std::exp(LogSum / double(N));
-  std::printf("%-12s %12s %12s %9.2fx  (geomean)\n", "", "", "", Geomean);
+  double RawGeomean = std::exp(RawLogSum / double(N));
+  std::printf("%-12s %12s %12s %12s %9.2fx %9.2fx  (geomean)\n", "", "", "",
+              "", Geomean, RawGeomean);
 
   if (!Parity) {
     std::fprintf(stderr, "\nengine parity violated — see above\n");

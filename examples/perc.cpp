@@ -13,12 +13,16 @@
 ///                     perceus-borrow | scoped-rc | gc
 ///   --engine=NAME     cek (default) | vm — the tree-walking machine or
 ///                     the bytecode interpreter (observably identical)
+///   --no-peephole     run the VM on the raw compiler output, skipping
+///                     the superinstruction/RC-elision rewrite (on by
+///                     default; the CEK machine ignores this)
 ///   --entry=NAME      entry function (default: main)
 ///   --stats           print heap/machine statistics after the run
 ///   --stats-json=FILE run, then dump heap stats, run stats, and the
 ///                     per-site RC event table as JSON to FILE
 ///   --pass-stats      print static dup/drop/reuse instruction counts
-///                     after each pipeline pass, then exit
+///                     after each pipeline pass (plus the bytecode
+///                     peephole report with --engine=vm), then exit
 ///   --dump=FN         print FN after the pipeline instead of running
 ///   --stages=FN       print FN at every Figure 1 pipeline stage
 ///   --fuel=N          trap after N machine steps (out-of-fuel)
@@ -117,7 +121,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: perc FILE.perc [--config=NAME] [--engine=cek|vm] "
-               "[--entry=NAME] [--stats] [--stats-json=FILE] [--pass-stats]\n"
+               "[--no-peephole] [--entry=NAME] [--stats] [--stats-json=FILE] "
+               "[--pass-stats]\n"
                "            [--dump=FN] [--stages=FN] "
                "[--fuel=N] [--deadline-ms=N] [--max-depth=N] [--max-heap=N]\n"
                "            [--max-cells=N] [--alloc-budget=N] "
@@ -578,6 +583,8 @@ int main(int Argc, char **Argv) {
       StatsJson = A + 13;
     } else if (!std::strcmp(A, "--pass-stats")) {
       PassStats = true;
+    } else if (!std::strcmp(A, "--no-peephole")) {
+      EC.Peephole = false;
     } else if (std::strncmp(A, "--shared-input=", 15) == 0) {
       SharedInput = A + 15;
     } else if (parseCount(A, "--shared-arg=", SharedArg)) {
@@ -671,6 +678,23 @@ int main(int Argc, char **Argv) {
     }
     std::printf("config: %s\n", Config.name());
     printPassStats(runPipelineWithStats(P, Config));
+    if (EC.Engine == EngineKind::Vm && EC.Peephole) {
+      // The bytecode tier's own rewrite, below the IR passes: what the
+      // peephole deleted (proven-immediate RC ops) and fused.
+      Runner R(Source, Config, EC);
+      const PeepholeReport &Rep = R.peepholeReport();
+      std::printf("\npeephole (immediacy rounds: %u)\n",
+                  Rep.AnalysisRounds);
+      std::printf("%-34s %7s %7s %7s %7s\n", "chunk", "before", "after",
+                  "elided", "fused");
+      for (const PeepholeChunkStats &C : Rep.Chunks)
+        if (C.Elided || C.Fused)
+          std::printf("%-34s %7u %7u %7u %7u\n", C.Name.c_str(), C.Before,
+                      C.After, C.Elided, C.Fused);
+      std::printf("%-34s %7s %7s %7llu %7llu\n", "total", "", "",
+                  (unsigned long long)Rep.totalElided(),
+                  (unsigned long long)Rep.totalFused());
+    }
     return 0;
   }
 

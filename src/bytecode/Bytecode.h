@@ -106,9 +106,86 @@ enum class Op : uint8_t {
   RefSet,       ///< B=dst, C=ref reg, D=value reg
 
   TrapOp,       ///< E=message index (compile-time-known runtime error)
+
+  //===--- Superinstructions (emitted only by bytecode/Peephole.h) --------===//
+  // Each fused opcode is semantically the exact concatenation of its
+  // component handlers: same heap calls, same counter increments, same
+  // telemetry stamps, same trap points. The compiler never emits these;
+  // the peephole pass rewrites hot adjacent pairs/triples post-compile.
+  DupMove,       ///< D=dup slot, B=move dst, C=move src
+  Dup2,          ///< C=slot1, D=slot2
+  Drop2,         ///< C=slot1, D=slot2
+  Dup3,          ///< C=slot1, D=slot2, E=slot3
+  Drop3,         ///< C=slot1, D=slot2, E=slot3
+  DupCallStatic, ///< A=nargs, B=dst, C=window, D=dup slot, E=FuncId
+  DupCall,       ///< A=nargs, B=dst, C=window (callee; args at window+1),
+                 ///< D=dup slot
+  IsUniqueReuse, ///< B=token dst, C=slot, E=else target (unique path
+                 ///< materializes the reuse token and falls through)
+  SetFieldToken, ///< A=field index, B=dst, C=token slot, D=value reg,
+                 ///< E=ctor tag
+  Move2,         ///< B=dst1, C=src1, D=dst2, E=src2 (sequential semantics)
+  LoadConstMove, ///< D=const dst, E=constant-pool index, B=move dst,
+                 ///< C=move src (const first, then the move)
+  RetConst,      ///< E=constant-pool index
+  LtBr,          ///< C=lhs, D=rhs, E=target (branches when the compare
+  LeBr,          ///< is false, like JumpIfFalse; the boolean register
+  GtBr,          ///< write of the component compare is elided — the
+  GeBr,          ///< compiler only ever materializes it into a dead temp)
+  EqBr,
+  NeBr,
+  CmpConstBr,    ///< A=CmpBrKind, C=lhs, D=constant-pool index, E=target
+  CmpJmp,        ///< A=CmpBrKind, C=lhs, D=rhs, B=pc when true, E=pc when
+                 ///< false. Jump-threads `cmp; Jump L` when L is the
+                 ///< JumpIfFalse consuming the compare's dead temp: the
+                 ///< loop-rotation shape every while-style recursion
+                 ///< compiles into. Skips the target test entirely.
+  MoveArith,     ///< A=0 add/1 sub/2 mul, B=dst, C=lhs, D=rhs,
+                 ///< E=(move dst<<16)|move src — move first, then arith
+  ArithMove,     ///< same fields as MoveArith; arith first, then move
+  ArithConst,    ///< A=0 x+K/1 x-K/2 K-x/3 x*K, B=dst, C=x,
+                 ///< D=constant-pool index of K
+  Move3,         ///< B=dst1, C=src1, D=dst2, E=(dst3<<16)|src2, A=src3
+                 ///< (sequential; src3 must fit in 8 bits)
+  MoveTailCallStatic, ///< A=nargs, C=window, E=FuncId, B=move dst,
+                 ///< D=move src (move first, then the tail call)
+  IsUniqueBrDup2,///< C=slot, E=else target, B=dup1, D=dup2 — the dups
+                 ///< run only on the unique fall-through path
+  DecLoadConst,  ///< C=decref slot, B=dst, E=constant-pool index
+  JfMove,        ///< B=cond, E=target, C=move dst, D=move src (the move
+                 ///< runs only on the true fall-through path)
+  JfDrop,        ///< B=cond, E=target, C=drop slot (drop only if true)
+  DropLoadConst, ///< C=drop slot, B=dst, E=constant-pool index
+  DropRetConst,  ///< C=drop slot, E=constant-pool index
+  DupDecLoadConst,  ///< C=dup slot, D=decref slot, B=dst,
+                    ///< E=constant-pool index — the shared-cell match
+                    ///< arm epilogue (dup the field, decref the cell,
+                    ///< load the null token)
+  Dup2DecLoadConst, ///< C=dup1, D=dup2, B=decref slot, A=dst (must fit
+                    ///< 8 bits), E=constant-pool index
+  Dup2Move2,        ///< B=dst1, C=dup1 (also src1), D=dst2,
+                    ///< E=dup2 (also src2) — two dup-then-copy pairs
+  MoveDupMove,      ///< B=dst1, C=src1, D=dup slot (also src2), E=dst2
+  MoveArithConst,   ///< A=0 x+K/1 x-K/2 K-x/3 x*K, B=dst, C=x,
+                    ///< D=constant-pool index of K,
+                    ///< E=(move dst<<16)|move src — move first, then arith
+  ArithConstMove,   ///< same fields as MoveArithConst; arith first
+  MoveCmpConstBr,   ///< A=CmpBrKind, B=move src, C=move dst (also lhs),
+                    ///< D=constant-pool index, E=target when false
+  ConRet,           ///< A=arity, B=dst, C=window, D=ctor tag — Con, then
+                    ///< return the fresh cell
+  DropMove,         ///< C=drop slot, B=move dst, D=move src
+  ArithConstRet,    ///< A=kind, B=dst, C=x, D=constant-pool index — the
+                    ///< ArithConst whose result is immediately returned
+  IsUniqueReuseJmp, ///< B=token dst, C=slot, D=pc when unique, E=else
+                    ///< target — IsUniqueReuse whose unique path jumps
 };
 
-constexpr size_t NumOpcodes = static_cast<size_t>(Op::TrapOp) + 1;
+/// The compare kind carried in CmpConstBr's A field; numbering matches
+/// the LtBr..NeBr opcode order.
+enum class CmpBrKind : uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+constexpr size_t NumOpcodes = static_cast<size_t>(Op::IsUniqueReuseJmp) + 1;
 
 /// One fixed-width instruction; see the Op comments for field use.
 struct Instr {
@@ -144,8 +221,19 @@ struct Chunk {
   /// heap events attribute to (null when the instruction reports none).
   /// Only consulted when a StatsSink is installed.
   std::vector<const Expr *> Sites;
+  /// Secondary/tertiary telemetry sites for fused instructions whose
+  /// components each stamp a site (e.g. Dup2/Drop2). Empty on chunks the
+  /// peephole pass has not rewritten; parallel to Code otherwise.
+  std::vector<const Expr *> Sites2;
+  std::vector<const Expr *> Sites3;
   uint32_t NumRegs = 0;   ///< frame size: named slots + temporaries
   uint32_t NumParams = 0; ///< parameters occupy registers 0..NumParams-1
+  /// First expression-temporary register: the layout's named slots occupy
+  /// 0..FirstTemp-1. Temporaries above this line are dead outside the
+  /// single expression that allocates them (every read is dominated by a
+  /// write within that expression), which is what licenses the peephole
+  /// pass to elide writes into them when fusing.
+  uint32_t FirstTemp = 0;
 
   //===--- Lambda chunks only ---------------------------------------------===//
   const LamExpr *Lam = nullptr;    ///< the IR node (telemetry site identity)
@@ -168,6 +256,18 @@ struct CompiledProgram {
   std::vector<MatchTable> Matches;
   std::vector<uint16_t> BinderSlots; ///< flat per-arm binder slot lists
   std::vector<std::string> Messages; ///< TrapOp messages
+
+  //===--- Peephole tier (set by bytecode/Peephole.h) ---------------------===//
+  /// True once runPeephole has rewritten Funcs/Lams in place. The
+  /// pre-peephole chunks are retained: the RC elision in the rewritten
+  /// code assumes every heap cell reachable during the run was built by
+  /// this program's own constructor sites, which holds for any run whose
+  /// entry arguments are all immediates. VM::run checks that at entry and
+  /// falls back to the raw tables otherwise (e.g. a parallel run handed a
+  /// thread-shared heap segment).
+  bool Peepholed = false;
+  std::vector<Chunk> RawFuncs;
+  std::vector<Chunk> RawLams;
 };
 
 } // namespace perceus

@@ -88,6 +88,7 @@ private:
     Ch = &C;
     TempTop = NamedSlots;
     C.NumRegs = NamedSlots;
+    C.FirstTemp = NamedSlots;
     compileTail(Body);
     Ch = SavedCh;
     TempTop = SavedTop;

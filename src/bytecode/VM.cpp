@@ -34,6 +34,28 @@ using namespace perceus;
 #define PERCEUS_VM_COMPUTED_GOTO 0
 #endif
 
+// Build with -DPERCEUS_VM_PROFILE=1 to tally every executed opcode pair
+// into perceus::VmPairProfile (indexed [prev][cur]). This is how the
+// superinstruction set in bytecode/Peephole.cpp was chosen: run the
+// benchmarks on a profiled build, rank the pair counts, fuse the top
+// ones. Off by default — the counter write would cost more than some
+// handlers.
+#ifndef PERCEUS_VM_PROFILE
+#define PERCEUS_VM_PROFILE 0
+#endif
+#if PERCEUS_VM_PROFILE
+namespace perceus {
+uint64_t VmPairProfile[NumOpcodes][NumOpcodes];
+}
+#define VM_PROFILE_PAIR()                                                      \
+  do {                                                                         \
+    VmPairProfile[ProfPrevOp][static_cast<size_t>(I.O)]++;                     \
+    ProfPrevOp = static_cast<size_t>(I.O);                                     \
+  } while (0)
+#else
+#define VM_PROFILE_PAIR() (void)0
+#endif
+
 /// Every opcode, in the exact order of the Op enum (the computed-goto
 /// table is indexed by the raw opcode byte).
 #define PERCEUS_VM_OPCODES(X)                                                  \
@@ -47,7 +69,30 @@ using namespace perceus;
   X(Lt) X(Le) X(Gt) X(Ge) X(EqVal) X(NeVal) X(Not)                             \
   X(PrintLn) X(MarkSharedOp) X(AbortOp)                                        \
   X(RefNew) X(RefGet) X(RefSet)                                                \
-  X(TrapOp)
+  X(TrapOp)                                                                    \
+  X(DupMove) X(Dup2) X(Drop2) X(Dup3) X(Drop3)                                 \
+  X(DupCallStatic) X(DupCall) X(IsUniqueReuse) X(SetFieldToken)                \
+  X(Move2) X(LoadConstMove) X(RetConst)                                        \
+  X(LtBr) X(LeBr) X(GtBr) X(GeBr) X(EqBr) X(NeBr) X(CmpConstBr)            \
+  X(CmpJmp) X(MoveArith) X(ArithMove) X(ArithConst) X(Move3)                   \
+  X(MoveTailCallStatic) X(IsUniqueBrDup2) X(DecLoadConst)                      \
+  X(JfMove) X(JfDrop) X(DropLoadConst) X(DropRetConst)                         \
+  X(DupDecLoadConst) X(Dup2DecLoadConst) X(Dup2Move2) X(MoveDupMove)       \
+  X(MoveArithConst) X(ArithConstMove) X(MoveCmpConstBr) X(ConRet)          \
+  X(DropMove) X(ArithConstRet) X(IsUniqueReuseJmp)
+
+/// Capacity growth is the only out-of-line RegStack path: doubling keeps
+/// it amortized to the deepest frame ever reached, after which every
+/// reframe is a size update plus the unit-fill.
+void RegStack::grow(size_t N) {
+  size_t NewCap = Cap ? Cap * 2 : 64;
+  if (NewCap < N)
+    NewCap = N;
+  std::unique_ptr<Value[]> NewMem(new Value[NewCap]);
+  std::copy(Mem.get(), Mem.get() + Sz, NewMem.get());
+  Mem = std::move(NewMem);
+  Cap = NewCap;
+}
 
 void VM::trap(std::string Msg, TrapKind Kind) {
   Trapped = true;
@@ -108,11 +153,23 @@ RunResult VM::run(FuncId F, std::vector<Value> Args) {
   Frames.clear();
   Result = Value::unit();
 
-  const Chunk &Entry = CP.Funcs[F];
+  // The peephole tier's RC elision assumes every heap cell in the run
+  // was built by this program's own constructor sites. A heap-valued
+  // entry argument (e.g. a thread-shared segment from the parallel
+  // runner) voids that, so such runs execute the retained raw chunks.
+  UseRawChunks = false;
+  if (CP.Peepholed)
+    for (const Value &A : Args)
+      if (A.isHeap()) {
+        UseRawChunks = true;
+        break;
+      }
+
+  const Chunk &Entry = (UseRawChunks ? CP.RawFuncs : CP.Funcs)[F];
   if (Args.size() != Entry.NumParams) {
     trap("entry function arity mismatch");
     // Ownership of the arguments transferred to us; unwind them.
-    Regs.assign(Args.begin(), Args.end());
+    Regs.assign(Args.data(), Args.data() + Args.size());
     unwind();
     Run = nullptr;
     return R;
@@ -151,6 +208,10 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
   const Chunk *Ch = Entry;
   const Instr *Code = Ch->Code.data();
   const Expr *const *Sites = Ch->Sites.data();
+  const Expr *const *Sites2 = Ch->Sites2.data();
+  const Expr *const *Sites3 = Ch->Sites3.data();
+  const std::vector<Chunk> &FuncTab = UseRawChunks ? CP.RawFuncs : CP.Funcs;
+  const std::vector<Chunk> &LamTab = UseRawChunks ? CP.RawLams : CP.Lams;
   uint32_t BaseL = 0;
   Value *RF = Regs.data();
   const Value *Consts = CP.Consts.data();
@@ -163,6 +224,9 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
   // deltas periodically so other workers observe bounded-stale counts.
   const bool HasSafepoint = HasDeadline || H.sharedCoalescingEnabled();
   Instr I{};
+#if PERCEUS_VM_PROFILE
+  size_t ProfPrevOp = 0;
+#endif
 
 #define VM_TRAP(Msg, Kind)                                                     \
   do {                                                                         \
@@ -192,6 +256,8 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
     Ch = (NewCh);                                                              \
     Code = Ch->Code.data();                                                    \
     Sites = Ch->Sites.data();                                                  \
+    Sites2 = Ch->Sites2.data();                                                \
+    Sites3 = Ch->Sites3.data();                                                \
   } while (0)
 
 #if PERCEUS_VM_COMPUTED_GOTO
@@ -207,6 +273,7 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
   do {                                                                         \
     VM_FUEL_CHECK();                                                           \
     I = Code[Pc++];                                                            \
+    VM_PROFILE_PAIR();                                                         \
     goto *Tab[static_cast<size_t>(I.O)];                                       \
   } while (0)
   VM_NEXT();
@@ -216,6 +283,7 @@ void VM::execute(const Chunk *Entry, RunResult &R) {
 NextInstr:
   VM_FUEL_CHECK();
   I = Code[Pc++];
+  VM_PROFILE_PAIR();
   switch (I.O) {
 #endif
 
@@ -292,7 +360,7 @@ NextInstr:
 
   //===--- Calls ----------------------------------------------------------===//
   VM_CASE(CallStatic) {
-    const Chunk *T = &CP.Funcs[I.E];
+    const Chunk *T = &FuncTab[I.E];
     if (CallDepthLimit && CallDepth >= CallDepthLimit)
       VM_TRAP("call depth limit exceeded (stack overflow)",
               TrapKind::StackOverflow);
@@ -301,8 +369,7 @@ NextInstr:
       R.MaxCallDepth = CallDepth;
     Frames.push_back(Frame{Ch, Pc, BaseL, I.B});
     BaseL += I.C; // the argument window is the callee's parameter region
-    Regs.resize(BaseL + T->NumRegs);
-    std::fill(Regs.begin() + BaseL + I.A, Regs.end(), Value::unit());
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
     if (Regs.size() > R.MaxLocalsSlots)
       R.MaxLocalsSlots = Regs.size();
     VM_SWITCH_CHUNK(T);
@@ -315,7 +382,7 @@ NextInstr:
     const Chunk *T;
     Cell *Clo = nullptr;
     if (Callee.Kind == ValueKind::FnRef) {
-      T = &CP.Funcs[Callee.fnId()];
+      T = &FuncTab[Callee.fnId()];
       if (T->NumParams != I.A)
         VM_TRAP("arity mismatch calling '" +
                     std::string(CP.Prog->symbols().name(T->Fn->Name)) + "'",
@@ -325,7 +392,7 @@ NextInstr:
       Clo = Callee.Ref;
       const auto *Lm =
           static_cast<const LamExpr *>(Clo->fields()[0].rawPtr());
-      T = &CP.Lams[Lm->lamId()];
+      T = &LamTab[Lm->lamId()];
       if (T->NumParams != I.A)
         VM_TRAP("arity mismatch calling a closure", TrapKind::RuntimeError);
     } else {
@@ -340,8 +407,7 @@ NextInstr:
     const Expr *SiteE = Sites[Pc - 1];
     Frames.push_back(Frame{Ch, Pc, BaseL, I.B});
     BaseL += I.C + 1; // arguments start one past the callee register
-    Regs.resize(BaseL + T->NumRegs);
-    std::fill(Regs.begin() + BaseL + I.A, Regs.end(), Value::unit());
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
     if (Regs.size() > R.MaxLocalsSlots)
       R.MaxLocalsSlots = Regs.size();
     VM_SWITCH_CHUNK(T);
@@ -352,12 +418,11 @@ NextInstr:
     VM_NEXT();
   }
   VM_CASE(TailCallStatic) {
-    const Chunk *T = &CP.Funcs[I.E];
+    const Chunk *T = &FuncTab[I.E];
     ++R.TailCalls;
     for (uint32_t J = 0; J != I.A; ++J) // forward copy; window >= dst
       RF[J] = RF[I.C + J];
-    Regs.resize(BaseL + T->NumRegs);
-    std::fill(Regs.begin() + BaseL + I.A, Regs.end(), Value::unit());
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
     if (Regs.size() > R.MaxLocalsSlots)
       R.MaxLocalsSlots = Regs.size();
     VM_SWITCH_CHUNK(T);
@@ -370,7 +435,7 @@ NextInstr:
     const Chunk *T;
     Cell *Clo = nullptr;
     if (Callee.Kind == ValueKind::FnRef) {
-      T = &CP.Funcs[Callee.fnId()];
+      T = &FuncTab[Callee.fnId()];
       if (T->NumParams != I.A)
         VM_TRAP("arity mismatch calling '" +
                     std::string(CP.Prog->symbols().name(T->Fn->Name)) + "'",
@@ -380,7 +445,7 @@ NextInstr:
       Clo = Callee.Ref;
       const auto *Lm =
           static_cast<const LamExpr *>(Clo->fields()[0].rawPtr());
-      T = &CP.Lams[Lm->lamId()];
+      T = &LamTab[Lm->lamId()];
       if (T->NumParams != I.A)
         VM_TRAP("arity mismatch calling a closure", TrapKind::RuntimeError);
     } else {
@@ -390,8 +455,7 @@ NextInstr:
     const Expr *SiteE = Sites[Pc - 1];
     for (uint32_t J = 0; J != I.A; ++J) // forward copy; window+1 > dst
       RF[J] = RF[I.C + 1 + J];
-    Regs.resize(BaseL + T->NumRegs);
-    std::fill(Regs.begin() + BaseL + I.A, Regs.end(), Value::unit());
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
     if (Regs.size() > R.MaxLocalsSlots)
       R.MaxLocalsSlots = Regs.size();
     VM_SWITCH_CHUNK(T);
@@ -421,7 +485,7 @@ NextInstr:
 
   //===--- Heap allocation ------------------------------------------------===//
   VM_CASE(MakeClosure) {
-    const Chunk *LC = &CP.Lams[I.E];
+    const Chunk *LC = &LamTab[I.E];
     size_t NCaps = LC->CaptureSrc.size();
     if (Sink)
       Sink->setSite(LC->Lam, "lambda", LC->Lam->loc());
@@ -623,6 +687,8 @@ NextInstr:
       VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
     if (B.Int == 0)
       VM_TRAP("division by zero", TrapKind::RuntimeError);
+    if (A.Int == INT64_MIN && B.Int == -1)
+      VM_TRAP("integer overflow in division", TrapKind::RuntimeError);
     RF[I.B] = Value::makeInt(A.Int / B.Int);
     VM_NEXT();
   }
@@ -632,6 +698,8 @@ NextInstr:
       VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
     if (B.Int == 0)
       VM_TRAP("modulo by zero", TrapKind::RuntimeError);
+    if (A.Int == INT64_MIN && B.Int == -1)
+      VM_TRAP("integer overflow in modulo", TrapKind::RuntimeError);
     RF[I.B] = Value::makeInt(A.Int % B.Int);
     VM_NEXT();
   }
@@ -639,6 +707,8 @@ NextInstr:
     Value A = RF[I.C];
     if (A.Kind != ValueKind::Int)
       VM_TRAP("negation of a non-integer", TrapKind::RuntimeError);
+    if (A.Int == INT64_MIN)
+      VM_TRAP("integer overflow in negation", TrapKind::RuntimeError);
     RF[I.B] = Value::makeInt(-A.Int);
     VM_NEXT();
   }
@@ -779,6 +849,766 @@ NextInstr:
 
   VM_CASE(TrapOp) {
     VM_TRAP(CP.Messages[I.E], TrapKind::RuntimeError);
+  }
+
+  //===--- Superinstructions (peephole tier) ------------------------------===//
+  // Each handler is the literal concatenation of its component handlers:
+  // same heap calls, same counter increments, same telemetry stamps,
+  // same trap messages at the same points — one dispatch. Primary sites
+  // live in Sites; per-component extras in Sites2/Sites3, which the
+  // peephole pass populates on every chunk it rewrites.
+
+  VM_CASE(DupMove) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    RF[I.B] = RF[I.C];
+    VM_NEXT();
+  }
+  VM_CASE(Dup2) {
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 2;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.C]);
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "dup", Sites2[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    VM_NEXT();
+  }
+  VM_CASE(Drop2) {
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 2;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "drop", Sites[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.C]);
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "drop", Sites2[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.D]);
+    VM_NEXT();
+  }
+  VM_CASE(Dup3) {
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 3;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.C]);
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "dup", Sites2[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    if (Sink)
+      Sink->setSite(Sites3[Pc - 1], "dup", Sites3[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[static_cast<uint16_t>(I.E)]);
+    VM_NEXT();
+  }
+  VM_CASE(Drop3) {
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 3;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "drop", Sites[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.C]);
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "drop", Sites2[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.D]);
+    if (Sink)
+      Sink->setSite(Sites3[Pc - 1], "drop", Sites3[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[static_cast<uint16_t>(I.E)]);
+    VM_NEXT();
+  }
+  VM_CASE(DupCallStatic) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    const Chunk *T = &FuncTab[I.E];
+    if (CallDepthLimit && CallDepth >= CallDepthLimit)
+      VM_TRAP("call depth limit exceeded (stack overflow)",
+              TrapKind::StackOverflow);
+    ++CallDepth;
+    if (CallDepth > R.MaxCallDepth)
+      R.MaxCallDepth = CallDepth;
+    Frames.push_back(Frame{Ch, Pc, BaseL, I.B});
+    BaseL += I.C; // the argument window is the callee's parameter region
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
+    if (Regs.size() > R.MaxLocalsSlots)
+      R.MaxLocalsSlots = Regs.size();
+    VM_SWITCH_CHUNK(T);
+    VM_REFRAME();
+    Pc = 0;
+    VM_NEXT();
+  }
+  VM_CASE(DupCall) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "dup", Sites2[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    Value Callee = RF[I.C];
+    const Chunk *T;
+    Cell *Clo = nullptr;
+    if (Callee.Kind == ValueKind::FnRef) {
+      T = &FuncTab[Callee.fnId()];
+      if (T->NumParams != I.A)
+        VM_TRAP("arity mismatch calling '" +
+                    std::string(CP.Prog->symbols().name(T->Fn->Name)) + "'",
+                TrapKind::RuntimeError);
+    } else if (Callee.Kind == ValueKind::HeapRef &&
+               Callee.Ref->H.Kind == CellKind::Closure) {
+      Clo = Callee.Ref;
+      const auto *Lm =
+          static_cast<const LamExpr *>(Clo->fields()[0].rawPtr());
+      T = &LamTab[Lm->lamId()];
+      if (T->NumParams != I.A)
+        VM_TRAP("arity mismatch calling a closure", TrapKind::RuntimeError);
+    } else {
+      VM_TRAP("calling a non-function value", TrapKind::RuntimeError);
+    }
+    if (CallDepthLimit && CallDepth >= CallDepthLimit)
+      VM_TRAP("call depth limit exceeded (stack overflow)",
+              TrapKind::StackOverflow);
+    ++CallDepth;
+    if (CallDepth > R.MaxCallDepth)
+      R.MaxCallDepth = CallDepth;
+    const Expr *SiteE = Sites[Pc - 1];
+    Frames.push_back(Frame{Ch, Pc, BaseL, I.B});
+    BaseL += I.C + 1; // arguments start one past the callee register
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
+    if (Regs.size() > R.MaxLocalsSlots)
+      R.MaxLocalsSlots = Regs.size();
+    VM_SWITCH_CHUNK(T);
+    VM_REFRAME();
+    Pc = 0;
+    if (Clo)
+      applyClosure(T, Clo, SiteE, RF);
+    VM_NEXT();
+  }
+  VM_CASE(IsUniqueReuse) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "is-unique", Sites[Pc - 1]->loc());
+    ++R.Rc.IsUniques;
+    Value V = RF[I.C];
+    if (H.isUnique(V))
+      RF[I.B] = Value::makeToken(V.Ref); // the fused ReuseAddr
+    else
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(SetFieldToken) {
+    ++R.Rc.FusedOps;
+    Value Tok = RF[I.C];
+    if (Tok.Kind != ValueKind::Token || !Tok.Tok)
+      VM_TRAP("field assignment through a null token", TrapKind::RuntimeError);
+    Cell *C = Tok.Tok;
+    C->fields()[I.A] = RF[I.D];
+    C->H.Tag = static_cast<uint8_t>(I.E);
+    C->H.Kind = CellKind::Ctor;
+    ++R.ReuseHits;
+    if (Sink) {
+      Sink->setSite(Sites[Pc - 1], "token-value", Sites[Pc - 1]->loc());
+      Sink->record(RcEvent::ReuseHit, Cell::allocSize(C->H.Arity));
+    }
+    RF[I.B] = Value::makeRef(C);
+    VM_NEXT();
+  }
+  VM_CASE(Move2) {
+    ++R.Rc.FusedOps;
+    RF[I.B] = RF[I.C];
+    RF[I.D] = RF[static_cast<uint16_t>(I.E)];
+    VM_NEXT();
+  }
+  VM_CASE(LoadConstMove) {
+    ++R.Rc.FusedOps;
+    RF[I.D] = Consts[I.E];
+    RF[I.B] = RF[I.C];
+    VM_NEXT();
+  }
+  VM_CASE(RetConst) {
+    ++R.Rc.FusedOps;
+    Value V = Consts[I.E];
+    if (Frames.empty()) {
+      Result = V;
+      goto Done;
+    }
+    Frame F = Frames.back();
+    Frames.pop_back();
+    --CallDepth;
+    BaseL = F.Base;
+    Regs.resize(BaseL + F.Ch->NumRegs);
+    VM_SWITCH_CHUNK(F.Ch);
+    VM_REFRAME();
+    Pc = F.Pc;
+    RF[F.Dst] = V;
+    VM_NEXT();
+  }
+  VM_CASE(LtBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+    if (!(A.Int < B.Int))
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(LeBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+    if (!(A.Int <= B.Int))
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(GtBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+    if (!(A.Int > B.Int))
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(GeBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+    if (!(A.Int >= B.Int))
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(EqBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    bool Eq;
+    if (A.Kind == ValueKind::Int && B.Kind == ValueKind::Int)
+      Eq = A.Int == B.Int;
+    else if (A.Kind == ValueKind::Bool && B.Kind == ValueKind::Bool)
+      Eq = (A.Int != 0) == (B.Int != 0);
+    else if (A.Kind == ValueKind::Enum && B.Kind == ValueKind::Enum)
+      Eq = A.Bits == B.Bits;
+    else
+      VM_TRAP("equality on incompatible or heap values",
+              TrapKind::RuntimeError);
+    if (!Eq)
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(NeBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    bool Eq;
+    if (A.Kind == ValueKind::Int && B.Kind == ValueKind::Int)
+      Eq = A.Int == B.Int;
+    else if (A.Kind == ValueKind::Bool && B.Kind == ValueKind::Bool)
+      Eq = (A.Int != 0) == (B.Int != 0);
+    else if (A.Kind == ValueKind::Enum && B.Kind == ValueKind::Enum)
+      Eq = A.Bits == B.Bits;
+    else
+      VM_TRAP("equality on incompatible or heap values",
+              TrapKind::RuntimeError);
+    if (Eq)
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(CmpConstBr) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = Consts[I.D];
+    CmpBrKind K = static_cast<CmpBrKind>(I.A);
+    bool Res;
+    if (K == CmpBrKind::Eq || K == CmpBrKind::Ne) {
+      bool Eq;
+      if (A.Kind == ValueKind::Int && B.Kind == ValueKind::Int)
+        Eq = A.Int == B.Int;
+      else if (A.Kind == ValueKind::Bool && B.Kind == ValueKind::Bool)
+        Eq = (A.Int != 0) == (B.Int != 0);
+      else if (A.Kind == ValueKind::Enum && B.Kind == ValueKind::Enum)
+        Eq = A.Bits == B.Bits;
+      else
+        VM_TRAP("equality on incompatible or heap values",
+                TrapKind::RuntimeError);
+      Res = K == CmpBrKind::Eq ? Eq : !Eq;
+    } else {
+      if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+        VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+      switch (K) {
+      case CmpBrKind::Lt:
+        Res = A.Int < B.Int;
+        break;
+      case CmpBrKind::Le:
+        Res = A.Int <= B.Int;
+        break;
+      case CmpBrKind::Gt:
+        Res = A.Int > B.Int;
+        break;
+      default:
+        Res = A.Int >= B.Int;
+        break;
+      }
+    }
+    if (!Res)
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(CmpJmp) {
+    // compare + Jump + the target JumpIfFalse, threaded into one
+    // two-way branch. The compare always yields a boolean, so the
+    // skipped JumpIfFalse's non-boolean trap was unreachable, and its
+    // condition temp is dead on this path (the write is elided).
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    CmpBrKind K = static_cast<CmpBrKind>(I.A);
+    bool Res;
+    if (K == CmpBrKind::Eq || K == CmpBrKind::Ne) {
+      bool Eq;
+      if (A.Kind == ValueKind::Int && B.Kind == ValueKind::Int)
+        Eq = A.Int == B.Int;
+      else if (A.Kind == ValueKind::Bool && B.Kind == ValueKind::Bool)
+        Eq = (A.Int != 0) == (B.Int != 0);
+      else if (A.Kind == ValueKind::Enum && B.Kind == ValueKind::Enum)
+        Eq = A.Bits == B.Bits;
+      else
+        VM_TRAP("equality on incompatible or heap values",
+                TrapKind::RuntimeError);
+      Res = K == CmpBrKind::Eq ? Eq : !Eq;
+    } else {
+      if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+        VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+      switch (K) {
+      case CmpBrKind::Lt:
+        Res = A.Int < B.Int;
+        break;
+      case CmpBrKind::Le:
+        Res = A.Int <= B.Int;
+        break;
+      case CmpBrKind::Gt:
+        Res = A.Int > B.Int;
+        break;
+      default:
+        Res = A.Int >= B.Int;
+        break;
+      }
+    }
+    Pc = Res ? I.B : I.E;
+    VM_NEXT();
+  }
+  VM_CASE(MoveArith) {
+    ++R.Rc.FusedOps;
+    RF[static_cast<uint16_t>(I.E >> 16)] = RF[static_cast<uint16_t>(I.E)];
+    Value A = RF[I.C], B = RF[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
+    RF[I.B] = Value::makeInt(I.A == 0   ? A.Int + B.Int
+                             : I.A == 1 ? A.Int - B.Int
+                                        : A.Int * B.Int);
+    VM_NEXT();
+  }
+  VM_CASE(ArithMove) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = RF[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
+    RF[I.B] = Value::makeInt(I.A == 0   ? A.Int + B.Int
+                             : I.A == 1 ? A.Int - B.Int
+                                        : A.Int * B.Int);
+    RF[static_cast<uint16_t>(I.E >> 16)] = RF[static_cast<uint16_t>(I.E)];
+    VM_NEXT();
+  }
+  VM_CASE(ArithConst) {
+    // LoadConst into a dead temp + the arith consuming it; the trap
+    // condition (either operand non-integer) is checked exactly as the
+    // component arith did, constants included.
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = Consts[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
+    int64_t V;
+    switch (I.A) {
+    case 0:
+      V = A.Int + B.Int;
+      break;
+    case 1:
+      V = A.Int - B.Int;
+      break;
+    case 2:
+      V = B.Int - A.Int;
+      break;
+    default:
+      V = A.Int * B.Int;
+      break;
+    }
+    RF[I.B] = Value::makeInt(V);
+    VM_NEXT();
+  }
+  VM_CASE(Move3) {
+    ++R.Rc.FusedOps;
+    RF[I.B] = RF[I.C];
+    RF[I.D] = RF[static_cast<uint16_t>(I.E)];
+    RF[static_cast<uint16_t>(I.E >> 16)] = RF[I.A];
+    VM_NEXT();
+  }
+  VM_CASE(MoveTailCallStatic) {
+    ++R.Rc.FusedOps;
+    RF[I.B] = RF[I.D]; // the fused move (an argument-window store)
+    const Chunk *T = &FuncTab[I.E];
+    ++R.TailCalls;
+    for (uint32_t J = 0; J != I.A; ++J) // forward copy; window >= dst
+      RF[J] = RF[I.C + J];
+    Regs.reframe(BaseL + T->NumRegs, BaseL + I.A);
+    if (Regs.size() > R.MaxLocalsSlots)
+      R.MaxLocalsSlots = Regs.size();
+    VM_SWITCH_CHUNK(T);
+    VM_REFRAME();
+    Pc = 0;
+    VM_NEXT();
+  }
+  VM_CASE(IsUniqueBrDup2) {
+    // The reuse-specialized match arm prologue: probe, then dup the two
+    // fields — but only on the unique path, exactly like the unfused
+    // IsUniqueBr whose else-branch skipped them.
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "is-unique", Sites[Pc - 1]->loc());
+    ++R.Rc.IsUniques;
+    if (H.isUnique(RF[I.C])) {
+      R.Rc.FusedRcOps += 2;
+      if (Sink)
+        Sink->setSite(Sites2[Pc - 1], "dup", Sites2[Pc - 1]->loc());
+      ++R.Rc.Dups;
+      H.dup(RF[I.B]);
+      if (Sink)
+        Sink->setSite(Sites3[Pc - 1], "dup", Sites3[Pc - 1]->loc());
+      ++R.Rc.Dups;
+      H.dup(RF[I.D]);
+    } else {
+      Pc = I.E;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(DecLoadConst) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "decref", Sites[Pc - 1]->loc());
+    ++R.Rc.DecRefs;
+    H.decref(RF[I.C]);
+    RF[I.B] = Consts[I.E];
+    VM_NEXT();
+  }
+  VM_CASE(JfMove) {
+    ++R.Rc.FusedOps;
+    Value V = RF[I.B];
+    if (V.Kind != ValueKind::Bool)
+      VM_TRAP("if condition is not a boolean", TrapKind::RuntimeError);
+    if (!V.asBool())
+      Pc = I.E;
+    else
+      RF[I.C] = RF[I.D];
+    VM_NEXT();
+  }
+  VM_CASE(JfDrop) {
+    ++R.Rc.FusedOps;
+    Value V = RF[I.B];
+    if (V.Kind != ValueKind::Bool)
+      VM_TRAP("if condition is not a boolean", TrapKind::RuntimeError);
+    if (!V.asBool()) {
+      Pc = I.E;
+    } else {
+      ++R.Rc.FusedRcOps;
+      if (Sink)
+        Sink->setSite(Sites2[Pc - 1], "drop", Sites2[Pc - 1]->loc());
+      ++R.Rc.Drops;
+      H.drop(RF[I.C]);
+    }
+    VM_NEXT();
+  }
+  VM_CASE(DropLoadConst) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "drop", Sites[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.C]);
+    RF[I.B] = Consts[I.E];
+    VM_NEXT();
+  }
+  VM_CASE(DropRetConst) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "drop", Sites[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.C]);
+    Value V = Consts[I.E];
+    if (Frames.empty()) {
+      Result = V;
+      goto Done;
+    }
+    Frame F = Frames.back();
+    Frames.pop_back();
+    --CallDepth;
+    BaseL = F.Base;
+    Regs.resize(BaseL + F.Ch->NumRegs);
+    VM_SWITCH_CHUNK(F.Ch);
+    VM_REFRAME();
+    Pc = F.Pc;
+    RF[F.Dst] = V;
+    VM_NEXT();
+  }
+  VM_CASE(DupDecLoadConst) {
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 2;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.C]);
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "decref", Sites2[Pc - 1]->loc());
+    ++R.Rc.DecRefs;
+    H.decref(RF[I.D]);
+    RF[I.B] = Consts[I.E];
+    VM_NEXT();
+  }
+  VM_CASE(Dup2DecLoadConst) {
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 3;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.C]);
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "dup", Sites2[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    if (Sink)
+      Sink->setSite(Sites3[Pc - 1], "decref", Sites3[Pc - 1]->loc());
+    ++R.Rc.DecRefs;
+    H.decref(RF[I.B]);
+    RF[I.A] = Consts[I.E];
+    VM_NEXT();
+  }
+  VM_CASE(Dup2Move2) {
+    // Two "dup r; copy r into the frame slot" pairs — the binder
+    // materialization every match arm opens with.
+    ++R.Rc.FusedOps;
+    R.Rc.FusedRcOps += 2;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.C]);
+    RF[I.B] = RF[I.C];
+    if (Sink)
+      Sink->setSite(Sites2[Pc - 1], "dup", Sites2[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[static_cast<uint16_t>(I.E)]);
+    RF[I.D] = RF[static_cast<uint16_t>(I.E)];
+    VM_NEXT();
+  }
+  VM_CASE(MoveDupMove) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    RF[I.B] = RF[I.C];
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "dup", Sites[Pc - 1]->loc());
+    ++R.Rc.Dups;
+    H.dup(RF[I.D]);
+    RF[static_cast<uint16_t>(I.E)] = RF[I.D];
+    VM_NEXT();
+  }
+  VM_CASE(MoveArithConst) {
+    ++R.Rc.FusedOps;
+    RF[static_cast<uint16_t>(I.E >> 16)] = RF[static_cast<uint16_t>(I.E)];
+    Value A = RF[I.C], B = Consts[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
+    int64_t V;
+    switch (I.A) {
+    case 0:
+      V = A.Int + B.Int;
+      break;
+    case 1:
+      V = A.Int - B.Int;
+      break;
+    case 2:
+      V = B.Int - A.Int;
+      break;
+    default:
+      V = A.Int * B.Int;
+      break;
+    }
+    RF[I.B] = Value::makeInt(V);
+    VM_NEXT();
+  }
+  VM_CASE(ArithConstMove) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = Consts[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
+    int64_t V;
+    switch (I.A) {
+    case 0:
+      V = A.Int + B.Int;
+      break;
+    case 1:
+      V = A.Int - B.Int;
+      break;
+    case 2:
+      V = B.Int - A.Int;
+      break;
+    default:
+      V = A.Int * B.Int;
+      break;
+    }
+    RF[I.B] = Value::makeInt(V);
+    RF[static_cast<uint16_t>(I.E >> 16)] = RF[static_cast<uint16_t>(I.E)];
+    VM_NEXT();
+  }
+  VM_CASE(MoveCmpConstBr) {
+    ++R.Rc.FusedOps;
+    RF[I.C] = RF[I.B]; // the fused move feeds the compare's lhs
+    Value A = RF[I.C], B = Consts[I.D];
+    CmpBrKind K = static_cast<CmpBrKind>(I.A);
+    bool Res;
+    if (K == CmpBrKind::Eq || K == CmpBrKind::Ne) {
+      bool Eq;
+      if (A.Kind == ValueKind::Int && B.Kind == ValueKind::Int)
+        Eq = A.Int == B.Int;
+      else if (A.Kind == ValueKind::Bool && B.Kind == ValueKind::Bool)
+        Eq = (A.Int != 0) == (B.Int != 0);
+      else if (A.Kind == ValueKind::Enum && B.Kind == ValueKind::Enum)
+        Eq = A.Bits == B.Bits;
+      else
+        VM_TRAP("equality on incompatible or heap values",
+                TrapKind::RuntimeError);
+      Res = K == CmpBrKind::Eq ? Eq : !Eq;
+    } else {
+      if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+        VM_TRAP("comparison of non-integers", TrapKind::RuntimeError);
+      switch (K) {
+      case CmpBrKind::Lt:
+        Res = A.Int < B.Int;
+        break;
+      case CmpBrKind::Le:
+        Res = A.Int <= B.Int;
+        break;
+      case CmpBrKind::Gt:
+        Res = A.Int > B.Int;
+        break;
+      default:
+        Res = A.Int >= B.Int;
+        break;
+      }
+    }
+    if (!Res)
+      Pc = I.E;
+    VM_NEXT();
+  }
+  VM_CASE(ConRet) {
+    ++R.Rc.FusedOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "con", Sites[Pc - 1]->loc());
+    Cell *C = H.alloc(I.A, I.D, CellKind::Ctor);
+    if (!C)
+      VM_TRAP("out of memory allocating a constructor", TrapKind::OutOfMemory);
+    VM_REFRAME();
+    Value *Fields = C->fields();
+    for (uint32_t J = 0; J != I.A; ++J)
+      Fields[J] = RF[I.C + J];
+    Value V = Value::makeRef(C);
+    RF[I.B] = V; // kept live for a clean unwind should the pop not happen
+    if (Frames.empty()) {
+      Result = V;
+      goto Done;
+    }
+    Frame F = Frames.back();
+    Frames.pop_back();
+    --CallDepth;
+    BaseL = F.Base;
+    Regs.resize(BaseL + F.Ch->NumRegs);
+    VM_SWITCH_CHUNK(F.Ch);
+    VM_REFRAME();
+    Pc = F.Pc;
+    RF[F.Dst] = V;
+    VM_NEXT();
+  }
+  VM_CASE(DropMove) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "drop", Sites[Pc - 1]->loc());
+    ++R.Rc.Drops;
+    H.drop(RF[I.C]);
+    RF[I.B] = RF[I.D];
+    VM_NEXT();
+  }
+  VM_CASE(ArithConstRet) {
+    ++R.Rc.FusedOps;
+    Value A = RF[I.C], B = Consts[I.D];
+    if (A.Kind != ValueKind::Int || B.Kind != ValueKind::Int)
+      VM_TRAP("arithmetic on a non-integer", TrapKind::RuntimeError);
+    int64_t VI;
+    switch (I.A) {
+    case 0:
+      VI = A.Int + B.Int;
+      break;
+    case 1:
+      VI = A.Int - B.Int;
+      break;
+    case 2:
+      VI = B.Int - A.Int;
+      break;
+    default:
+      VI = A.Int * B.Int;
+      break;
+    }
+    Value V = Value::makeInt(VI);
+    if (Frames.empty()) {
+      Result = V;
+      goto Done;
+    }
+    Frame F = Frames.back();
+    Frames.pop_back();
+    --CallDepth;
+    BaseL = F.Base;
+    Regs.resize(BaseL + F.Ch->NumRegs);
+    VM_SWITCH_CHUNK(F.Ch);
+    VM_REFRAME();
+    Pc = F.Pc;
+    RF[F.Dst] = V;
+    VM_NEXT();
+  }
+  VM_CASE(IsUniqueReuseJmp) {
+    ++R.Rc.FusedOps;
+    ++R.Rc.FusedRcOps;
+    if (Sink)
+      Sink->setSite(Sites[Pc - 1], "is-unique", Sites[Pc - 1]->loc());
+    ++R.Rc.IsUniques;
+    Value V = RF[I.C];
+    if (H.isUnique(V)) {
+      RF[I.B] = Value::makeToken(V.Ref); // the fused ReuseAddr
+      Pc = I.D;                          // the fused unique-path Jump
+    } else {
+      Pc = I.E;
+    }
+    VM_NEXT();
   }
 
 #if !PERCEUS_VM_COMPUTED_GOTO

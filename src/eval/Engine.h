@@ -75,6 +75,15 @@ struct RcInstrCounts {
   uint64_t ImplicitDrops = 0;
   uint64_t ImplicitDecRefs = 0;
 
+  /// Superinstructions executed (VM peephole tier only; always 0 on the
+  /// CEK machine). Their RC components increment the counters above
+  /// exactly as the unfused instructions would — FusedOps counts the
+  /// combined dispatches, FusedRcOps the RC operations that executed
+  /// inside them, so dispatch savings stay auditable without touching
+  /// the classification invariant.
+  uint64_t FusedOps = 0;
+  uint64_t FusedRcOps = 0;
+
   uint64_t totalCalls() const {
     return Dups + ImplicitDups + Drops + ImplicitDrops + DecRefs +
            ImplicitDecRefs + IsUniques;

@@ -78,6 +78,12 @@ struct EngineConfig {
 
   size_t GcThresholdBytes = 4u << 20; ///< GC collection threshold
 
+  /// Run the post-compile superinstruction/RC-elision pass on VM
+  /// bytecode (bytecode/Peephole.h). On by default; `--no-peephole`
+  /// turns it off for debugging and for exact (rather than semantic)
+  /// cross-engine stats comparisons. Ignored by the CEK engine.
+  bool Peephole = true;
+
   /// Convenience builders for the common axes.
   EngineConfig &withEngine(EngineKind K) {
     Engine = K;
@@ -93,6 +99,10 @@ struct EngineConfig {
   }
   EngineConfig &withGcThreshold(size_t Bytes) {
     GcThresholdBytes = Bytes;
+    return *this;
+  }
+  EngineConfig &withPeephole(bool On) {
+    Peephole = On;
     return *this;
   }
 };

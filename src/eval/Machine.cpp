@@ -770,11 +770,19 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
         trap("division by zero");
         return;
       }
+      if (A == INT64_MIN && B == -1) {
+        trap("integer overflow in division");
+        return;
+      }
       Out = Value::makeInt(A / B);
       break;
     default:
       if (B == 0) {
         trap("modulo by zero");
+        return;
+      }
+      if (A == INT64_MIN && B == -1) {
+        trap("integer overflow in modulo");
         return;
       }
       Out = Value::makeInt(A % B);
@@ -786,6 +794,10 @@ void Machine::finishPrim(const PrimExpr *Pr, size_t OperandBase) {
     int64_t A = intArg(0, OkArgs);
     if (!OkArgs) {
       trap("negation of a non-integer");
+      return;
+    }
+    if (A == INT64_MIN) {
+      trap("integer overflow in negation");
       return;
     }
     Out = Value::makeInt(-A);

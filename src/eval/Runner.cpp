@@ -39,6 +39,8 @@ void Runner::finishSetup() {
       EC.GcThresholdBytes);
   if (EC.Engine == EngineKind::Vm) {
     Compiled.emplace(compileProgram(*Prog, *Layout));
+    if (EC.Peephole)
+      PeepReport = runPeephole(*Compiled);
     TheEngine = std::make_unique<VM>(*Compiled, *TheHeap);
   } else {
     TheEngine = std::make_unique<Machine>(*Prog, *Layout, *TheHeap);

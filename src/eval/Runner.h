@@ -25,6 +25,7 @@
 #define PERCEUS_EVAL_RUNNER_H
 
 #include "bytecode/Bytecode.h"
+#include "bytecode/Peephole.h"
 #include "eval/Engine.h"
 #include "eval/EngineConfig.h"
 #include "eval/Layout.h"
@@ -64,6 +65,9 @@ public:
   Engine &machine() { return *TheEngine; }
   const PassConfig &config() const { return Config; }
   const EngineConfig &engineConfig() const { return EC; }
+  /// The peephole rewrite report (VM engine with EngineConfig::Peephole
+  /// only; empty otherwise). Consumed by `perc --pass-stats`.
+  const PeepholeReport &peepholeReport() const { return PeepReport; }
 
   /// Calls function \p Name with integer arguments.
   RunResult callInt(std::string_view Name, std::vector<int64_t> Args);
@@ -98,6 +102,7 @@ private:
   Program *Prog = nullptr;
   std::optional<ProgramLayout> Layout;
   std::optional<CompiledProgram> Compiled; // VM engine only
+  PeepholeReport PeepReport;               // VM + peephole only
   std::unique_ptr<Heap> TheHeap;
   std::unique_ptr<Engine> TheEngine;
   bool Ok = false;

@@ -58,6 +58,8 @@ void writeRunResultJson(JsonWriter &W, const RunResult &R) {
       .member("implicit_dups", R.Rc.ImplicitDups)
       .member("implicit_drops", R.Rc.ImplicitDrops)
       .member("implicit_decrefs", R.Rc.ImplicitDecRefs)
+      .member("fused_ops", R.Rc.FusedOps)
+      .member("fused_rc_ops", R.Rc.FusedRcOps)
       .endObject();
   W.endObject();
 }

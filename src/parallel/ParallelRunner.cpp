@@ -7,6 +7,7 @@
 #include "parallel/ParallelRunner.h"
 
 #include "bytecode/Compiler.h"
+#include "bytecode/Peephole.h"
 #include "bytecode/VM.h"
 #include "eval/Machine.h"
 #include "gc/MarkSweep.h"
@@ -56,8 +57,15 @@ ParallelOutcome ParallelRunner::run(const EngineConfig &EC,
     Out.Error = "no such entry function: " + std::string(Entry);
     return Out;
   }
-  if (EC.Engine == EngineKind::Vm && !Compiled)
+  if (EC.Engine == EngineKind::Vm && !Compiled) {
     Compiled.emplace(compileProgram(*Prog, *Layout));
+    // The peephole flag is captured by whichever run compiles first (the
+    // CompiledProgram is cached across runs). Shared-segment runs stay
+    // correct either way: every worker's entry args include the shared
+    // heap reference, so VM::run falls back to the raw chunks.
+    if (EC.Peephole)
+      runPeephole(*Compiled);
+  }
 
   auto makeEngine = [&](Heap &H) -> std::unique_ptr<Engine> {
     if (EC.Engine == EngineKind::Vm)

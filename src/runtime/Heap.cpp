@@ -151,7 +151,7 @@ bool Heap::governedAllocAllowed(uint32_t Arity) {
   return false;
 }
 
-void Heap::dup(Value V) {
+void Heap::dupSlow(Value V) {
   if (Sink)
     Sink->record(RcEvent::DupCall, 0);
   if (Mode == HeapMode::Gc || !V.isHeap()) {
@@ -359,7 +359,7 @@ void Heap::flushSharedDeltas() {
 }
 
 
-void Heap::drop(Value V) {
+void Heap::dropSlow(Value V) {
   if (Sink)
     Sink->record(RcEvent::DropCall, 0);
   if (Mode == HeapMode::Gc || !V.isHeap()) {
@@ -370,7 +370,7 @@ void Heap::drop(Value V) {
   dropRef(V.Ref);
 }
 
-void Heap::decref(Value V) {
+void Heap::decrefSlow(Value V) {
   if (Sink)
     Sink->record(RcEvent::DecRefCall, 0);
   if (Mode == HeapMode::Gc || !V.isHeap()) {
@@ -388,7 +388,7 @@ void Heap::decref(Value V) {
   dropRef(V.Ref);
 }
 
-bool Heap::isUnique(Value V) {
+bool Heap::isUniqueSlow(Value V) {
   if (Sink)
     Sink->record(RcEvent::IsUniqueCall, 0);
   if (Mode == HeapMode::Gc || !V.isHeap()) {

@@ -148,19 +148,85 @@ public:
   StatsSink *statsSink() const { return Sink; }
 
   /// Increments the reference count of \p V (no-op on immediates).
-  void dup(Value V);
+  ///
+  /// The four RC entry points below inline their uncontended fast path
+  /// (no sink, RC mode, heap operand, thread-local count) straight into
+  /// the interpreter loops; everything else — telemetry, GC mode,
+  /// immediates, shared counts, saturation, frees — takes the
+  /// out-of-line *Slow twin, which re-derives the case from scratch.
+  /// The split is profile-driven: these calls dominate the VM's
+  /// non-dispatch time on the Figure 9 set.
+  void dup(Value V) {
+    if (Sink == nullptr && Mode == HeapMode::Rc) {
+      if (!V.isHeap()) {
+        ++Stats.NonHeapRcOps;
+        return;
+      }
+      Cell *C = V.Ref;
+      int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+      assert(Rc != 0 && "dup of freed cell");
+      if (Rc > 0 && Rc != INT32_MAX) {
+        ++Stats.DupOps;
+        C->H.Rc.store(Rc + 1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    dupSlow(V);
+  }
 
   /// Decrements; frees the cell and recursively drops its children when
   /// the count reaches zero.
-  void drop(Value V);
+  void drop(Value V) {
+    if (Sink == nullptr && Mode == HeapMode::Rc) {
+      if (!V.isHeap()) {
+        ++Stats.NonHeapRcOps;
+        return;
+      }
+      Cell *C = V.Ref;
+      int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+      assert(Rc != 0 && "drop of freed cell");
+      if (Rc > 1) {
+        ++Stats.DropOps;
+        C->H.Rc.store(Rc - 1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    dropSlow(V);
+  }
 
   /// Decrements without the uniqueness fast path (the shared branch of a
   /// specialized drop). Still frees when a thread-shared count reaches 0.
-  void decref(Value V);
+  void decref(Value V) {
+    if (Sink == nullptr && Mode == HeapMode::Rc) {
+      if (!V.isHeap()) {
+        ++Stats.NonHeapRcOps;
+        return;
+      }
+      Cell *C = V.Ref;
+      int32_t Rc = C->H.Rc.load(std::memory_order_relaxed);
+      assert(Rc != 0 && "decref of freed cell");
+      if (Rc > 1) {
+        ++Stats.DecRefOps;
+        C->H.Rc.store(Rc - 1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    decrefSlow(V);
+  }
 
   /// The `is-unique` test: true iff the count is exactly 1 and the value
   /// is not thread-shared.
-  bool isUnique(Value V);
+  bool isUnique(Value V) {
+    if (Sink == nullptr && Mode == HeapMode::Rc) {
+      if (!V.isHeap()) {
+        ++Stats.NonHeapRcOps;
+        return false;
+      }
+      ++Stats.IsUniqueTests;
+      return V.Ref->H.Rc.load(std::memory_order_acquire) == 1;
+    }
+    return isUniqueSlow(V);
+  }
 
   /// Marks \p V and everything reachable from it thread-shared
   /// (the paper's `tshare`): counts become negative and all further RC
@@ -292,6 +358,15 @@ public:
   size_t reclaimAll();
 
 private:
+  /// Out-of-line twins of the inline RC fast paths above. Each handles
+  /// every case from scratch (telemetry sink, GC mode, immediates,
+  /// shared/saturated counts, frees) so the inline wrappers can bail to
+  /// them unconditionally without pre-classifying.
+  void dupSlow(Value V);
+  void dropSlow(Value V);
+  void decrefSlow(Value V);
+  bool isUniqueSlow(Value V);
+
   Cell *allocRaw(uint32_t Arity);
   void release(Cell *C);
   void dropRef(Cell *C);

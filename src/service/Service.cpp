@@ -7,6 +7,7 @@
 #include "service/Service.h"
 
 #include "bytecode/Compiler.h"
+#include "bytecode/Peephole.h"
 #include "bytecode/VM.h"
 #include "eval/Machine.h"
 #include "gc/MarkSweep.h"
@@ -129,8 +130,13 @@ compileArtifact(const ServiceRequest &R) {
   }
   runPipeline(*Art->Prog, R.Config);
   Art->Layout.emplace(layoutProgram(*Art->Prog));
-  if (R.Engine == EngineKind::Vm)
+  if (R.Engine == EngineKind::Vm) {
     Art->Code.emplace(compileProgram(*Art->Prog, *Art->Layout));
+    // Unconditional: artifacts are cached by (source, config, engine),
+    // so the peephole tier must not vary per request. Runs whose entry
+    // arguments include heap references use the retained raw chunks.
+    runPeephole(*Art->Code);
+  }
   // Resolve every function name now, single-threaded: workers must not
   // intern into the shared symbol table on the request path.
   for (FuncId F = 0; F != Art->Prog->numFunctions(); ++F)

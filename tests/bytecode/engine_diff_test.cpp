@@ -108,8 +108,9 @@ struct Observed {
 };
 
 Observed runOn(const DiffCase &C, const PassConfig &Config,
-               EngineKind Engine, FaultInjector *FI = nullptr) {
-  EngineConfig EC = EngineConfig{}.withEngine(Engine);
+               EngineKind Engine, FaultInjector *FI = nullptr,
+               bool Peephole = false) {
+  EngineConfig EC = EngineConfig{}.withEngine(Engine).withPeephole(Peephole);
   EC.Injector = FI;
   Runner R(C.Source, Config, EC);
   EXPECT_TRUE(R.ok()) << R.diagnostics().str();
@@ -124,20 +125,46 @@ Observed runOn(const DiffCase &C, const PassConfig &Config,
 
 /// The full equality contract between two runs of the same program.
 /// \p GcMode relaxes the heap comparison to collection-timing-immune
-/// counters.
+/// counters. \p Semantic relaxes the RC-instruction comparison to the
+/// peephole elision relation: the rewritten VM may execute fewer
+/// dup/drop/decref *instructions*, but only ones the immediacy analysis
+/// proved operate on immediates — so every elided instruction is
+/// accounted for, one-for-one, by the drop in the heap's NonHeapRcOps
+/// classification, and every heap-semantic counter stays bit-identical.
 void expectEqualObservations(const Observed &Cek, const Observed &Vm,
-                             bool GcMode) {
+                             bool GcMode, bool Semantic = false) {
   EXPECT_EQ(Cek.Run.Ok, Vm.Run.Ok) << Vm.Run.Error;
   EXPECT_EQ(Cek.Run.Trap, Vm.Run.Trap);
+  EXPECT_EQ(Cek.Run.Error, Vm.Run.Error);
   EXPECT_EQ(Cek.Run.Output, Vm.Run.Output);
   EXPECT_EQ(Cek.Checksum, Vm.Checksum);
   EXPECT_EQ(Cek.Run.Result.Kind, Vm.Run.Result.Kind);
 
   const RcInstrCounts &A = Cek.Run.Rc, &B = Vm.Run.Rc;
-  EXPECT_EQ(A.Dups, B.Dups);
-  EXPECT_EQ(A.Drops, B.Drops);
+  const HeapStats &H = Cek.Heap, &G = Vm.Heap;
+  if (!Semantic) {
+    EXPECT_EQ(A.Dups, B.Dups);
+    EXPECT_EQ(A.Drops, B.Drops);
+    EXPECT_EQ(A.DecRefs, B.DecRefs);
+    EXPECT_EQ(B.FusedOps, 0u);
+    EXPECT_EQ(B.FusedRcOps, 0u);
+  } else {
+    // Elision only ever removes instructions, never adds them.
+    EXPECT_GE(A.Dups, B.Dups);
+    EXPECT_GE(A.Drops, B.Drops);
+    EXPECT_GE(A.DecRefs, B.DecRefs);
+    if (!GcMode) {
+      // The conservation law: every elided engine-side RC instruction
+      // is one the heap would have classified as a non-heap no-op.
+      uint64_t ElidedInstrs = (A.Dups - B.Dups) + (A.Drops - B.Drops) +
+                              (A.DecRefs - B.DecRefs);
+      EXPECT_EQ(ElidedInstrs, H.NonHeapRcOps - G.NonHeapRcOps);
+    }
+    // The RC operations executed inside superinstructions were already
+    // tallied in the per-kind counters; FusedRcOps only audits them.
+    EXPECT_LE(B.FusedRcOps, B.Dups + B.Drops + B.DecRefs + B.IsUniques);
+  }
   EXPECT_EQ(A.Frees, B.Frees);
-  EXPECT_EQ(A.DecRefs, B.DecRefs);
   EXPECT_EQ(A.IsUniques, B.IsUniques);
   EXPECT_EQ(A.DropReuses, B.DropReuses);
   EXPECT_EQ(A.ImplicitDups, B.ImplicitDups);
@@ -146,14 +173,16 @@ void expectEqualObservations(const Observed &Cek, const Observed &Vm,
   EXPECT_EQ(Cek.Run.ReuseHits, Vm.Run.ReuseHits);
   EXPECT_EQ(Cek.Run.ReuseMisses, Vm.Run.ReuseMisses);
 
-  const HeapStats &H = Cek.Heap, &G = Vm.Heap;
   EXPECT_EQ(H.Allocs, G.Allocs);
   if (!GcMode) {
     EXPECT_EQ(H.Frees, G.Frees);
     EXPECT_EQ(H.DupOps, G.DupOps);
     EXPECT_EQ(H.DropOps, G.DropOps);
     EXPECT_EQ(H.DecRefOps, G.DecRefOps);
-    EXPECT_EQ(H.NonHeapRcOps, G.NonHeapRcOps);
+    if (!Semantic)
+      EXPECT_EQ(H.NonHeapRcOps, G.NonHeapRcOps);
+    else
+      EXPECT_GE(H.NonHeapRcOps, G.NonHeapRcOps);
     EXPECT_EQ(H.AtomicRcOps, G.AtomicRcOps);
     EXPECT_EQ(H.IsUniqueTests, G.IsUniqueTests);
     EXPECT_EQ(H.FailedAllocs, G.FailedAllocs);
@@ -166,19 +195,42 @@ void expectEqualObservations(const Observed &Cek, const Observed &Vm,
   }
 }
 
+/// The three-way diff: the CEK machine vs the plain VM (exact equality,
+/// the historical contract) vs the peepholed VM (exact on everything
+/// heap-semantic, the elision conservation law on the RC instruction
+/// counts).
 TEST(EngineDiff, EveryProgramEveryConfigAgrees) {
   for (const DiffCase &C : diffCases()) {
     for (const auto &[Name, Config] : allConfigs()) {
       SCOPED_TRACE(std::string(C.Name) + " / " + Name);
+      bool GcMode = Config.Mode == RcMode::None;
       Observed Cek = runOn(C, Config, EngineKind::Cek);
       Observed Vm = runOn(C, Config, EngineKind::Vm);
+      Observed VmPeep = runOn(C, Config, EngineKind::Vm, nullptr,
+                              /*Peephole=*/true);
       ASSERT_TRUE(Cek.Run.Ok) << Cek.Run.Error;
-      expectEqualObservations(Cek, Vm, Config.Mode == RcMode::None);
+      expectEqualObservations(Cek, Vm, GcMode);
+      expectEqualObservations(Cek, VmPeep, GcMode, /*Semantic=*/true);
       if (Config.Mode != RcMode::None) {
         EXPECT_TRUE(Cek.HeapEmpty);
         EXPECT_TRUE(Vm.HeapEmpty);
+        EXPECT_TRUE(VmPeep.HeapEmpty);
       }
     }
+  }
+}
+
+/// The peephole tier must actually bite on the benchmark programs in the
+/// full configuration — a silent no-op pass would keep every test above
+/// green while delivering nothing.
+TEST(EngineDiff, PeepholeFusesAndElidesOnTheBenchmarks) {
+  for (const DiffCase &C : diffCases()) {
+    SCOPED_TRACE(C.Name);
+    Observed Plain = runOn(C, PassConfig::perceusFull(), EngineKind::Vm);
+    Observed Peep = runOn(C, PassConfig::perceusFull(), EngineKind::Vm,
+                          nullptr, /*Peephole=*/true);
+    EXPECT_GT(Peep.Run.Rc.FusedOps, 0u);
+    EXPECT_LT(Peep.Run.Steps, Plain.Run.Steps);
   }
 }
 
@@ -207,17 +259,116 @@ TEST(EngineDiff, FaultSweepTrapsAtTheSamePointOnBothEngines) {
         SCOPED_TRACE("k=" + std::to_string(K));
         FaultInjector FiCek = FaultInjector::failNth(K);
         FaultInjector FiVm = FaultInjector::failNth(K);
+        FaultInjector FiPeep = FaultInjector::failNth(K);
         Observed Cek = runOn(C, Config, EngineKind::Cek, &FiCek);
         Observed Vm = runOn(C, Config, EngineKind::Vm, &FiVm);
+        // The peepholed VM allocates at the same indices (elision never
+        // touches an allocating instruction), so the k-th attempt is the
+        // same attempt — and the unwind must reclaim the same cells even
+        // from rewritten code with skipped dead-temp writes.
+        Observed Peep = runOn(C, Config, EngineKind::Vm, &FiPeep,
+                              /*Peephole=*/true);
         ASSERT_FALSE(Cek.Run.Ok);
         ASSERT_FALSE(Vm.Run.Ok);
+        ASSERT_FALSE(Peep.Run.Ok);
         ASSERT_EQ(Cek.Run.Trap, TrapKind::OutOfMemory);
         ASSERT_EQ(Vm.Run.Trap, TrapKind::OutOfMemory);
+        ASSERT_EQ(Peep.Run.Trap, TrapKind::OutOfMemory);
         ASSERT_EQ(FiCek.injected(), 1u);
         ASSERT_EQ(FiVm.injected(), 1u);
+        ASSERT_EQ(FiPeep.injected(), 1u);
         expectEqualObservations(Cek, Vm, false);
+        expectEqualObservations(Cek, Peep, false, /*Semantic=*/true);
         ASSERT_TRUE(Cek.HeapEmpty);
         ASSERT_TRUE(Vm.HeapEmpty);
+        ASSERT_TRUE(Peep.HeapEmpty);
+      }
+    }
+  }
+}
+
+/// The INT64_MIN boundary and mixed-kind equality, differentially: all
+/// three engine variants must trap (not wrap, and not execute the UB
+/// hardware instruction) with the same message, the same trap kind, and
+/// a clean unwind. The overflow expressions are undefined behaviour in
+/// C++ when evaluated natively — INT64_MIN / -1 and INT64_MIN % -1
+/// fault with SIGFPE on x86 — so the engines must intercept them before
+/// the division unit sees the operands.
+TEST(EngineDiff, OverflowAndMixedEqualityTrapIdenticallyOnEveryEngine) {
+  struct TrapCase {
+    const char *Name;
+    const char *Source;
+    const char *Msg;
+    int64_t N;
+  };
+  const int64_t IntMin = INT64_MIN;
+  std::vector<TrapCase> Cases = {
+      {"div-intmin", "fun main(n) { n / (0 - 1) }",
+       "integer overflow in division", IntMin},
+      {"mod-intmin", "fun main(n) { n % (0 - 1) }",
+       "integer overflow in modulo", IntMin},
+      {"neg-intmin", "fun main(n) { -n }", "integer overflow in negation",
+       IntMin},
+      {"div-zero", "fun main(n) { n / (n - n) }", "division by zero", 7},
+      {"mod-zero", "fun main(n) { n % (n - n) }", "modulo by zero", 7},
+      {"eq-int-bool", "fun main(n) { if n == True then 1 else 0 }",
+       "equality on incompatible or heap values", 1},
+      {"ne-int-bool", "fun main(n) { if n != False then 1 else 0 }",
+       "equality on incompatible or heap values", 1},
+  };
+  struct Variant {
+    const char *Name;
+    EngineKind Engine;
+    bool Peephole;
+  };
+  std::vector<Variant> Variants = {{"cek", EngineKind::Cek, false},
+                                   {"vm", EngineKind::Vm, false},
+                                   {"vm-peep", EngineKind::Vm, true}};
+  for (const TrapCase &C : Cases) {
+    for (const auto &[CfgName, Config] : allConfigs()) {
+      for (const Variant &V : Variants) {
+        SCOPED_TRACE(std::string(C.Name) + " / " + CfgName + " / " + V.Name);
+        EngineConfig EC = EngineConfig{}
+                              .withEngine(V.Engine)
+                              .withPeephole(V.Peephole);
+        Runner R(C.Source, Config, EC);
+        ASSERT_TRUE(R.ok()) << R.diagnostics().str();
+        RunResult Res = R.callInt("main", {C.N});
+        EXPECT_FALSE(Res.Ok);
+        EXPECT_EQ(Res.Trap, TrapKind::RuntimeError);
+        EXPECT_EQ(Res.Error, C.Msg);
+        EXPECT_TRUE(R.heapIsEmpty());
+      }
+    }
+  }
+}
+
+/// The same boundary operands on results that do NOT overflow must keep
+/// producing wrapped-free exact answers on every engine — the traps must
+/// not over-fire.
+TEST(EngineDiff, OverflowBoundaryNeighborsStillSucceed) {
+  struct OkCase {
+    const char *Source;
+    int64_t N;
+    int64_t Expect;
+  };
+  const int64_t IntMin = INT64_MIN;
+  std::vector<OkCase> Cases = {
+      {"fun main(n) { n / 1 }", IntMin, IntMin},
+      {"fun main(n) { (n + 1) / (0 - 1) }", IntMin, INT64_MAX},
+      {"fun main(n) { n % 1 }", IntMin, 0},
+      {"fun main(n) { -(n + 1) }", IntMin, INT64_MAX},
+  };
+  for (const OkCase &C : Cases) {
+    for (bool Peephole : {false, true}) {
+      for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm}) {
+        EngineConfig EC =
+            EngineConfig{}.withEngine(Engine).withPeephole(Peephole);
+        Runner R(C.Source, PassConfig::perceusFull(), EC);
+        ASSERT_TRUE(R.ok()) << R.diagnostics().str();
+        RunResult Res = R.callInt("main", {C.N});
+        ASSERT_TRUE(Res.Ok) << Res.Error;
+        EXPECT_EQ(Res.Result.Int, C.Expect);
       }
     }
   }
@@ -231,19 +382,24 @@ struct EngineDiffSeed : ::testing::TestWithParam<uint64_t> {};
 TEST_P(EngineDiffSeed, RandomProgramsAgreeUnderEveryConfig) {
   for (const auto &[Name, Config] : allConfigs()) {
     SCOPED_TRACE(Name);
-    // The pipeline mutates the program, so each engine gets its own
-    // regeneration from the same seed.
-    uint64_t Sums[2];
-    HeapStats Heaps[2];
-    RunResult Runs[2];
+    // The pipeline mutates the program, so each engine variant gets its
+    // own regeneration from the same seed. Index 0 = CEK, 1 = plain VM,
+    // 2 = peepholed VM (random closures and match trees exercise fusion
+    // shapes the benchmark set never produces).
+    uint64_t Sums[3];
+    HeapStats Heaps[3];
+    RunResult Runs[3];
     bool Skip = false;
-    for (EngineKind Engine : {EngineKind::Cek, EngineKind::Vm}) {
+    for (size_t I = 0; I != 3; ++I) {
       auto P = std::make_unique<Program>();
       Rng R(GetParam());
       GeneratedTerm G = generateTerm(*P, R, 6);
-      Runner Run(*P, Config, EngineConfig{}.withEngine(Engine));
+      EngineConfig EC =
+          EngineConfig{}
+              .withEngine(I == 0 ? EngineKind::Cek : EngineKind::Vm)
+              .withPeephole(I == 2);
+      Runner Run(*P, Config, EC);
       ASSERT_TRUE(Run.ok());
-      size_t I = Engine == EngineKind::Cek ? 0 : 1;
       Sums[I] = ~0ull;
       Run.engine().setResultInspector(
           [&, I](Value V) { Sums[I] = checksumValue(V); });
@@ -262,19 +418,32 @@ TEST_P(EngineDiffSeed, RandomProgramsAgreeUnderEveryConfig) {
     }
     if (Skip)
       continue;
-    EXPECT_EQ(Sums[0], Sums[1]) << Name;
-    EXPECT_EQ(Heaps[0].Allocs, Heaps[1].Allocs) << Name;
-    if (Config.Mode != RcMode::None) {
-      EXPECT_EQ(Heaps[0].Frees, Heaps[1].Frees) << Name;
-      EXPECT_EQ(Heaps[0].DupOps, Heaps[1].DupOps) << Name;
-      EXPECT_EQ(Heaps[0].DropOps, Heaps[1].DropOps) << Name;
-      EXPECT_EQ(Heaps[0].PeakBytes, Heaps[1].PeakBytes) << Name;
+    for (size_t I = 1; I != 3; ++I) {
+      EXPECT_EQ(Sums[0], Sums[I]) << Name;
+      EXPECT_EQ(Heaps[0].Allocs, Heaps[I].Allocs) << Name;
+      if (Config.Mode != RcMode::None) {
+        EXPECT_EQ(Heaps[0].Frees, Heaps[I].Frees) << Name;
+        EXPECT_EQ(Heaps[0].DupOps, Heaps[I].DupOps) << Name;
+        EXPECT_EQ(Heaps[0].DropOps, Heaps[I].DropOps) << Name;
+        EXPECT_EQ(Heaps[0].PeakBytes, Heaps[I].PeakBytes) << Name;
+      }
+      EXPECT_EQ(Runs[0].Rc.DropReuses, Runs[I].Rc.DropReuses) << Name;
+      EXPECT_EQ(Runs[0].ReuseHits, Runs[I].ReuseHits) << Name;
     }
-    const RcInstrCounts &A = Runs[0].Rc, &B = Runs[1].Rc;
+    // Exact RC-instruction parity with the plain VM; the conservation
+    // law for the peepholed one.
+    const RcInstrCounts &A = Runs[0].Rc, &B = Runs[1].Rc, &P = Runs[2].Rc;
     EXPECT_EQ(A.Dups, B.Dups) << Name;
     EXPECT_EQ(A.Drops, B.Drops) << Name;
-    EXPECT_EQ(A.DropReuses, B.DropReuses) << Name;
-    EXPECT_EQ(Runs[0].ReuseHits, Runs[1].ReuseHits) << Name;
+    EXPECT_GE(A.Dups, P.Dups) << Name;
+    EXPECT_GE(A.Drops, P.Drops) << Name;
+    EXPECT_GE(A.DecRefs, P.DecRefs) << Name;
+    if (Config.Mode != RcMode::None) {
+      uint64_t Elided = (A.Dups - P.Dups) + (A.Drops - P.Drops) +
+                        (A.DecRefs - P.DecRefs);
+      EXPECT_EQ(Elided, Heaps[0].NonHeapRcOps - Heaps[2].NonHeapRcOps)
+          << Name;
+    }
   }
 }
 

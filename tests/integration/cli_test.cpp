@@ -76,6 +76,30 @@ TEST(PercCli, ParallelWorkerTrapsExitNonZero) {
   }
 }
 
+TEST(PercCli, OverflowBoundaryTrapsExitNonZero) {
+  // INT64_MIN / -1, INT64_MIN % -1 and -INT64_MIN overflow the int64
+  // result (undefined behaviour if executed natively); the pinned
+  // contract is a structured trap — exit 1, not a crash and not a
+  // wrapped value — on every engine variant, peephole included.
+  std::string Div = testing::TempDir() + "/overflow_div.perc";
+  std::ofstream(Div) << "fun main(a, b) { a / b }\n";
+  std::string Mod = testing::TempDir() + "/overflow_mod.perc";
+  std::ofstream(Mod) << "fun main(a, b) { a % b }\n";
+  std::string Neg = testing::TempDir() + "/overflow_neg.perc";
+  std::ofstream(Neg) << "fun main(n) { -n }\n";
+  const std::string IntMin = "-9223372036854775808";
+  for (const std::string E : {"--engine=cek", "--engine=vm",
+                              "--engine=vm --no-peephole"}) {
+    EXPECT_EQ(runPerc(Div + " " + E + " " + IntMin + " -1"), 1) << E;
+    EXPECT_EQ(runPerc(Mod + " " + E + " " + IntMin + " -1"), 1) << E;
+    EXPECT_EQ(runPerc(Neg + " " + E + " " + IntMin), 1) << E;
+    // The boundary operands themselves stay computable: only the
+    // overflowing results trap.
+    EXPECT_EQ(runPerc(Div + " " + E + " " + IntMin + " 2"), 0) << E;
+    EXPECT_EQ(runPerc(Neg + " " + E + " 7"), 0) << E;
+  }
+}
+
 TEST(PercCli, BadFlagValuesAreRejected) {
   EXPECT_EQ(runPerc(prog("nqueens.perc") + " --engine=jit 6"), 1);
   EXPECT_EQ(runPerc(prog("nqueens.perc") + " --config=bogus 6"), 1);

@@ -130,10 +130,12 @@ private:
 
 /// Server + sharded service on an ephemeral port, torn down per test.
 struct Fixture {
-  explicit Fixture(FrontEndConfig FC = FrontEndConfig{}) : SS(FC) {
+  explicit Fixture(FrontEndConfig FC = FrontEndConfig{},
+                   const char *Source = nullptr, const char *Entry = nullptr)
+      : SS(FC) {
     ServiceRequest Defaults;
-    Defaults.Source = mapSumSource();
-    Defaults.Entry = "bench_mapsum";
+    Defaults.Source = Source ? Source : mapSumSource();
+    Defaults.Entry = Entry ? Entry : "bench_mapsum";
     Srv = std::make_unique<Server>(SS, FC, Defaults);
     std::string Err;
     if (!Srv->listen("127.0.0.1:0", &Err) || !Srv->start())
@@ -240,6 +242,48 @@ TEST(Frontend, TrapStillAnswersStructuredWithEmptyHeap) {
   EXPECT_FALSE(Run->find("ok", JsonValue::Kind::Bool)->B);
   EXPECT_EQ(Run->find("trap", JsonValue::Kind::String)->Str, "out-of-fuel");
   EXPECT_TRUE(Svc->find("heap_empty", JsonValue::Kind::Bool)->B);
+}
+
+TEST(Frontend, IntMinDivOverflowTrapsStructuredOnALiveServer) {
+  // INT64_MIN / -1 through the full socket stack: the overflow must
+  // come back as a structured runtime-error trap — a live response with
+  // an empty worker heap, not a crashed or wedged server — on both
+  // engines, and the connection must stay usable afterwards.
+  FrontEndConfig FC;
+  Fixture F(FC, "fun main(a, b) { a / b }", "main");
+  for (const char *Engine : {"cek", "vm"}) {
+    Client C(F.port());
+    ASSERT_TRUE(C.ok());
+    std::string Req = std::string("{\"entry\":\"main\",\"engine\":\"") +
+                      Engine +
+                      "\",\"args\":[-9223372036854775808,-1]}";
+    ASSERT_TRUE(C.sendFrame(FrameMode::Line, Req));
+    std::string Payload;
+    ASSERT_TRUE(C.recvFrame(FrameMode::Line, Payload));
+    std::optional<JsonValue> Doc = parseWire(Payload);
+    ASSERT_TRUE(Doc.has_value());
+    const JsonValue *Svc = serviceObj(*Doc);
+    ASSERT_NE(Svc, nullptr);
+    EXPECT_EQ(Svc->find("status", JsonValue::Kind::String)->Str, "ok");
+    EXPECT_TRUE(Svc->find("executed", JsonValue::Kind::Bool)->B);
+    const JsonValue *Run = Doc->find("run", JsonValue::Kind::Object);
+    ASSERT_NE(Run, nullptr);
+    EXPECT_FALSE(Run->find("ok", JsonValue::Kind::Bool)->B);
+    EXPECT_EQ(Run->find("trap", JsonValue::Kind::String)->Str,
+              "runtime-error");
+    EXPECT_TRUE(Svc->find("heap_empty", JsonValue::Kind::Bool)->B);
+    // Same connection, non-overflowing operands: still serviceable.
+    ASSERT_TRUE(C.sendFrame(
+        FrameMode::Line,
+        std::string("{\"entry\":\"main\",\"engine\":\"") + Engine +
+            "\",\"args\":[-9223372036854775808,2]}"));
+    ASSERT_TRUE(C.recvFrame(FrameMode::Line, Payload));
+    Doc = parseWire(Payload);
+    ASSERT_TRUE(Doc.has_value());
+    EXPECT_TRUE(Doc->find("run", JsonValue::Kind::Object)
+                    ->find("ok", JsonValue::Kind::Bool)
+                    ->B);
+  }
 }
 
 TEST(Frontend, MalformedDocumentGetsBadRequestAndConnSurvives) {

@@ -205,7 +205,7 @@ TEST(StatsJson, PercStatsDocumentHasTheDocumentedShape) {
   ASSERT_NE(Rc, nullptr);
   for (const char *Key : {"dups", "drops", "frees", "decrefs", "is_uniques",
                           "drop_reuses", "implicit_dups", "implicit_drops",
-                          "implicit_decrefs"})
+                          "implicit_decrefs", "fused_ops", "fused_rc_ops"})
     EXPECT_NE(Rc->find(Key, JsonValue::Kind::Number), nullptr) << Key;
   const JsonValue *Sites2 = Doc->find("sites", JsonValue::Kind::Array);
   ASSERT_NE(Sites2, nullptr);
